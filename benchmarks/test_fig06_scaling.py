@@ -1,0 +1,92 @@
+"""Fig. 6 — strong and weak scaling from 1 to 16 endpoints.
+
+Paper: completion time for 20 000×5 s (strong) keeps dropping until ~12
+endpoints and is near-ideal; 100 000×1 s tasks scale worse because network
+latency and scheduling overheads dominate short tasks.  Weak scaling is
+roughly flat for 5 s tasks.
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scaling import run_scaling_experiment
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+ENDPOINT_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _report(name, result, benchmark):
+    rows = [
+        (p.endpoints, p.tasks, round(p.completion_time_s, 1), round(p.ideal_time_s, 1))
+        for p in result.points
+    ]
+    print()
+    print(f"Fig. 6 ({name}) — completion time vs number of endpoints")
+    print(format_table(["endpoints", "tasks", "completion_s", "ideal_s"], rows))
+    benchmark.extra_info[name] = {p.endpoints: round(p.completion_time_s, 1) for p in result.points}
+
+
+def test_fig06_strong_scaling_5s_tasks(benchmark):
+    result = benchmark.pedantic(
+        run_scaling_experiment,
+        kwargs=dict(
+            mode="strong",
+            task_duration_s=5.0,
+            endpoint_counts=ENDPOINT_COUNTS,
+            scale=BENCH_SCALE,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _report("strong-5s", result, benchmark)
+    times = result.completion_times()
+    # Completion time keeps decreasing with more endpoints, close to ideal
+    # for the 5 s tasks (paper: near-ideal up to 12 endpoints).
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    assert times[16] < times[4]
+    assert result.speedup()[8] > 4.0
+
+
+def test_fig06_strong_scaling_1s_tasks(benchmark):
+    result = benchmark.pedantic(
+        run_scaling_experiment,
+        kwargs=dict(
+            mode="strong",
+            task_duration_s=1.0,
+            endpoint_counts=ENDPOINT_COUNTS,
+            scale=BENCH_SCALE / 2,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _report("strong-1s", result, benchmark)
+    times = result.completion_times()
+    assert times[4] < times[1]
+    # Short tasks scale worse than long tasks (overheads dominate).
+    five_s = run_scaling_experiment(
+        mode="strong", task_duration_s=5.0, endpoint_counts=(1, 16), scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    assert result.speedup()[16] <= five_s.speedup()[16] + 1.0
+
+
+def test_fig06_weak_scaling_5s_tasks(benchmark):
+    result = benchmark.pedantic(
+        run_scaling_experiment,
+        kwargs=dict(
+            mode="weak",
+            task_duration_s=5.0,
+            endpoint_counts=(1, 2, 4, 8),
+            scale=BENCH_SCALE,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _report("weak-5s", result, benchmark)
+    times = result.completion_times()
+    # Weak scaling: completion time stays roughly constant.
+    assert times[8] == pytest.approx(times[1], rel=0.5)

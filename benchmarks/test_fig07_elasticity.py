@@ -1,0 +1,41 @@
+"""Fig. 7 — multi-endpoint elasticity.
+
+Paper: three endpoints (caps 100/40/20 workers) receive bursts of pinned
+tasks at t=10 s and t=70 s (repeated twice).  Each endpoint scales out
+independently — the first burst takes EP1 to 60 workers and the second to its
+100-worker cap — and every endpoint returns all of its workers after the 30 s
+idle interval.
+"""
+
+from repro.experiments.elasticity import PAPER_MAX_WORKERS, PAPER_PHASES, run_elasticity_experiment
+from repro.experiments.reporting import format_timeseries
+
+
+def test_fig07_multi_endpoint_elasticity(benchmark):
+    result = benchmark.pedantic(
+        run_elasticity_experiment,
+        kwargs=dict(phases=PAPER_PHASES, sample_interval_s=2.0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Fig. 7 — active workers per endpoint over time")
+    for endpoint, series in result.active_workers.items():
+        print(format_timeseries(f"  {endpoint}", series, max_points=16))
+    print("Pending tasks per endpoint over time")
+    for endpoint, series in result.pending_tasks.items():
+        print(format_timeseries(f"  {endpoint}", series, max_points=16))
+
+    benchmark.extra_info["max_workers_observed"] = result.max_workers_observed
+    benchmark.extra_info["completed_tasks"] = result.completed_tasks
+
+    # All 2×(50+20+10 + 200+80+40) = 800 tasks completed.
+    assert result.completed_tasks == 800
+    # The large burst drives every endpoint to (or near) its configured cap...
+    assert result.max_workers_observed["ep1"] == PAPER_MAX_WORKERS["ep1"]
+    assert result.max_workers_observed["ep2"] == PAPER_MAX_WORKERS["ep2"]
+    assert result.max_workers_observed["ep3"] == PAPER_MAX_WORKERS["ep3"]
+    # ...and every endpoint eventually returns all of its workers.
+    for endpoint in PAPER_MAX_WORKERS:
+        assert result.scaled_to_zero(endpoint), f"{endpoint} did not scale back to zero"

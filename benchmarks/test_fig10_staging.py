@@ -1,0 +1,32 @@
+"""Fig. 10 — number of tasks in the data-staging state over time.
+
+Paper: Locality, which makes real-time decisions and cannot hide staging
+behind computation, accumulates far more tasks in the data-staging state than
+Capacity (whose offline decisions let staging start as soon as dependencies
+complete and overlap with computation).
+"""
+
+from repro.experiments.reporting import format_timeseries
+
+from benchmarks.conftest import static_study
+
+
+def test_fig10_tasks_in_data_staging(benchmark):
+    def collect():
+        results = static_study("drug_screening")
+        return {name: r.staging_tasks for name, r in results.items() if not name.startswith("Baseline")}
+
+    staging = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    print()
+    print("Fig. 10 (drug screening) — tasks in data staging over time")
+    for name, series in staging.items():
+        print(format_timeseries(f"  {name:9s}", series, max_points=14))
+
+    peaks = {name: series.max() for name, series in staging.items()}
+    benchmark.extra_info["peak_staging_tasks"] = {k: int(v) for k, v in peaks.items()}
+
+    # Staging activity exists for every federated scheduler, and Locality's
+    # peak backlog is at least as large as Capacity's (paper: much larger).
+    assert peaks["LOCALITY"] >= peaks["CAPACITY"]
+    assert max(peaks.values()) > 0

@@ -1,0 +1,40 @@
+"""Fig. 11 — workload distribution of Capacity and DHA.
+
+Paper: Capacity distributes tasks evenly per worker across endpoints (by
+construction), while DHA is heterogeneity-aware and assigns more tasks per
+worker to Taiyi, the highest-performance cluster.
+"""
+
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import static_study
+
+
+def test_fig11_workload_distribution(benchmark):
+    def collect():
+        results = static_study("drug_screening")
+        return {
+            name: results[name].tasks_per_worker() for name in ("CAPACITY", "DHA")
+        }
+
+    per_worker = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    print()
+    print("Fig. 11 (drug screening) — tasks assigned per worker")
+    rows = []
+    for scheduler, distribution in per_worker.items():
+        for endpoint, value in sorted(distribution.items()):
+            rows.append((scheduler, endpoint, round(value, 2)))
+    print(format_table(["scheduler", "endpoint", "tasks/worker"], rows))
+    benchmark.extra_info["tasks_per_worker"] = {
+        s: {e: round(v, 2) for e, v in d.items()} for s, d in per_worker.items()
+    }
+
+    capacity = per_worker["CAPACITY"]
+    dha = per_worker["DHA"]
+    # Capacity splits tasks proportionally to worker counts, so tasks/worker
+    # is roughly equal across endpoints.
+    values = list(capacity.values())
+    assert max(values) <= 2.0 * min(values) + 1.0
+    # DHA leans on the fastest cluster at least as much as the others.
+    assert dha["taiyi"] >= max(v for e, v in dha.items() if e != "taiyi") * 0.8

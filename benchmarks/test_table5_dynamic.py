@@ -1,0 +1,75 @@
+"""Table V — dynamic resource capacity case studies.
+
+Paper (full scale):
+
+=========================  ============  ==================
+Drug screening (12 001)    Makespan (s)  Transfer size (GB)
+=========================  ============  ==================
+Capacity                   3 610         3.26
+Locality                   2 130         43.61
+DHA                        1 666         33.01
+DHA without re-sched.      2 183         39.47
+=========================  ============  ==================
+
+=========================  ============  ==================
+Montage                    Makespan (s)  Transfer size (GB)
+=========================  ============  ==================
+Capacity                   2 671         2.48
+Locality                   1 360         14.18
+DHA                        1 257         31.05
+DHA without re-sched.      1 868         29.62
+=========================  ============  ==================
+
+Shape checks: Capacity (offline) cannot react to capacity changes and is by
+far the slowest; DHA attains the lowest makespan; disabling re-scheduling
+costs DHA part of its advantage.
+"""
+
+from repro.experiments.reporting import format_case_study_table
+
+from benchmarks.conftest import dynamic_study
+
+
+def _record(benchmark, results):
+    benchmark.extra_info.update(
+        {
+            name: {
+                "makespan_s": round(r.makespan_s, 1),
+                "transfer_gb": round(r.transfer_size_gb, 2),
+                "rescheduled": r.rescheduled_tasks,
+            }
+            for name, r in results.items()
+        }
+    )
+
+
+def test_table5_drug_screening_dynamic(benchmark):
+    results = benchmark.pedantic(dynamic_study, args=("drug_screening",), rounds=1, iterations=1)
+    print()
+    print("Table V (drug screening, scaled) — dynamic resource capacity")
+    print(format_case_study_table(results))
+    _record(benchmark, results)
+
+    # Capacity, an offline scheduler, cannot adapt and is the slowest by far.
+    assert results["CAPACITY"].makespan_s == max(r.makespan_s for r in results.values())
+    assert results["CAPACITY"].makespan_s > 1.4 * results["DHA"].makespan_s
+    # The adaptive schedulers are competitive; DHA (with re-scheduling) is at
+    # least as good as DHA without it.
+    assert results["DHA"].makespan_s <= results["DHA without re-sched."].makespan_s * 1.05
+    assert results["DHA"].rescheduled_tasks > 0
+    assert results["DHA without re-sched."].rescheduled_tasks == 0
+
+
+def test_table5_montage_dynamic(benchmark):
+    results = benchmark.pedantic(dynamic_study, args=("montage",), rounds=1, iterations=1)
+    print()
+    print("Table V (montage, scaled) — dynamic resource capacity")
+    print(format_case_study_table(results))
+    _record(benchmark, results)
+
+    # DHA is (at worst within a few percent of) the fastest configuration
+    # under dynamic capacity and beats the offline Capacity scheduler.
+    best = min(r.makespan_s for r in results.values())
+    assert results["DHA"].makespan_s <= 1.05 * best
+    assert results["DHA"].makespan_s <= 1.05 * results["DHA without re-sched."].makespan_s
+    assert results["CAPACITY"].makespan_s > results["DHA"].makespan_s

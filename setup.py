@@ -1,0 +1,11 @@
+"""Setup shim so that ``pip install -e .`` works without network access.
+
+The execution environment has no index access and no ``wheel`` package, so
+the PEP 517/660 editable path is unavailable; this shim lets pip fall back to
+the legacy ``setup.py develop`` editable install.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

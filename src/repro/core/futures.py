@@ -1,0 +1,137 @@
+"""Futures returned by UniFaaS task invocations.
+
+Invoking a decorated function does not execute it; it returns a
+:class:`UniFuture` representing the eventual result (§III-A).  Futures can be
+passed as arguments to other decorated functions, which is how the dynamic
+task graph is built (§III-B).
+
+The implementation is thread-safe: the local execution fabric resolves
+futures from worker threads while user code may block in :meth:`result`.
+In simulation mode the orchestration engine resolves futures while the
+discrete-event loop runs, so :meth:`result` is called after
+``client.run()`` returns and never blocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+__all__ = ["UniFuture", "FutureState"]
+
+
+class FutureState:
+    """String constants describing a future's life-cycle."""
+
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class UniFuture:
+    """Result placeholder for an asynchronously executed task.
+
+    Parameters
+    ----------
+    task_id:
+        Identifier of the task whose result this future carries.  ``None``
+        for futures created outside a workflow (rare; mostly in tests).
+    """
+
+    def __init__(self, task_id: Optional[str] = None) -> None:
+        self.task_id = task_id
+        self._state = FutureState.PENDING
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._callbacks: List[Callable[["UniFuture"], None]] = []
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def done(self) -> bool:
+        """True once the future holds a result, an exception, or is cancelled."""
+        return self._state != FutureState.PENDING
+
+    def cancelled(self) -> bool:
+        return self._state == FutureState.CANCELLED
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Return the exception set on the future (``None`` if it succeeded)."""
+        self._wait(timeout)
+        return self._exception
+
+    # -------------------------------------------------------------- resolve
+    def set_result(self, value: Any) -> None:
+        with self._lock:
+            if self.done():
+                raise RuntimeError(f"future for task {self.task_id} already resolved")
+            self._result = value
+            self._state = FutureState.DONE
+            callbacks = list(self._callbacks)
+        self._event.set()
+        self._run_callbacks(callbacks)
+
+    def set_exception(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.done():
+                raise RuntimeError(f"future for task {self.task_id} already resolved")
+            self._exception = exc
+            self._state = FutureState.FAILED
+            callbacks = list(self._callbacks)
+        self._event.set()
+        self._run_callbacks(callbacks)
+
+    def cancel(self) -> bool:
+        """Mark the future cancelled.  Returns ``False`` if already resolved."""
+        with self._lock:
+            if self.done():
+                return False
+            self._state = FutureState.CANCELLED
+            callbacks = list(self._callbacks)
+        self._event.set()
+        self._run_callbacks(callbacks)
+        return True
+
+    # --------------------------------------------------------------- consume
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Return the task result, blocking up to ``timeout`` seconds.
+
+        Raises the task's exception if it failed, :class:`TimeoutError` if
+        the result is not available in time, and :class:`RuntimeError` if the
+        future was cancelled.
+        """
+        self._wait(timeout)
+        if self._state == FutureState.CANCELLED:
+            raise RuntimeError(f"task {self.task_id} was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(self, fn: Callable[["UniFuture"], None]) -> None:
+        """Call ``fn(self)`` when the future resolves (immediately if done)."""
+        with self._lock:
+            if not self.done():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    # -------------------------------------------------------------- internal
+    def _wait(self, timeout: Optional[float]) -> None:
+        if self.done():
+            return
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"result for task {self.task_id} not available within {timeout} s"
+            )
+
+    def _run_callbacks(self, callbacks: List[Callable[["UniFuture"], None]]) -> None:
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UniFuture(task_id={self.task_id!r}, state={self._state!r})"

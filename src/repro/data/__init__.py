@@ -1,0 +1,37 @@
+"""Wide-area data management (§IV-E).
+
+UniFaaS passes small Python objects between tasks through futures, but large
+files must be staged across the federated resource pool.  This package
+provides:
+
+* :mod:`repro.data.remote_file` — the ``RemoteFile`` shim layer
+  (``GlobusFile``/``RsyncFile``/``RemoteDirectory``) users wrap their data in;
+* :mod:`repro.data.transfer` — transfer backends (simulated Globus and rsync
+  over the network model, and a local-copy backend for local mode);
+* :mod:`repro.data.manager` — the data manager: per-endpoint-pair staging
+  queues with bounded concurrency, transparent retries and a replica catalog.
+"""
+
+from repro.data.remote_file import GlobusFile, RemoteDirectory, RemoteFile, RsyncFile
+from repro.data.transfer import (
+    LocalCopyTransferBackend,
+    SimulatedTransferBackend,
+    TransferBackend,
+    TransferRequest,
+    TransferResult,
+)
+from repro.data.manager import DataManager, StagingTicket
+
+__all__ = [
+    "DataManager",
+    "GlobusFile",
+    "LocalCopyTransferBackend",
+    "RemoteDirectory",
+    "RemoteFile",
+    "RsyncFile",
+    "SimulatedTransferBackend",
+    "StagingTicket",
+    "TransferBackend",
+    "TransferRequest",
+    "TransferResult",
+]

@@ -1,0 +1,253 @@
+"""The data manager: transparent wide-area staging (§IV-E).
+
+For every task the scheduler places on an endpoint, the data manager works
+out which input files are missing there, queues the necessary transfers (per
+endpoint-pair, with a bounded number of concurrent transfers), monitors their
+progress, retries failures (§IV-G) and notifies the orchestration engine when
+the task's staging is complete so it can be dispatched.
+
+It also maintains the replica catalog the Locality scheduler queries ("how
+many bytes would I have to move to run this task on endpoint X?") and the
+aggregate transfer-volume counters reported in Tables IV and V.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.data.remote_file import RemoteFile
+from repro.data.transfer import TransferBackend, TransferRequest, TransferResult
+from repro.sim.kernel import Clock
+
+__all__ = ["DataManager", "StagingTicket"]
+
+_ticket_counter = itertools.count()
+
+StagedCallback = Callable[["StagingTicket"], None]
+
+
+@dataclass
+class StagingTicket:
+    """Tracks the staging of one task's inputs onto its target endpoint."""
+
+    task_id: str
+    destination: str
+    ticket_id: str = field(default_factory=lambda: f"stage-{next(_ticket_counter):08d}")
+    pending_transfers: Set[str] = field(default_factory=set)
+    failed: bool = False
+    created_at: float = 0.0
+    completed_at: Optional[float] = None
+    #: Data volume this ticket moved across endpoints (MB).
+    transferred_mb: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return not self.pending_transfers or self.failed
+
+    @property
+    def staging_time_s(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+
+@dataclass
+class _QueuedTransfer:
+    request: TransferRequest
+    #: Every ticket waiting on this transfer; several tasks headed to the same
+    #: endpoint may need the same file and must not trigger duplicate copies.
+    tickets: List[StagingTicket] = field(default_factory=list)
+    attempts: int = 0
+
+
+class DataManager:
+    """Schedules, monitors and retries the transfers behind task staging."""
+
+    def __init__(
+        self,
+        backend: TransferBackend,
+        clock: Clock,
+        *,
+        mechanism: str = "globus",
+        max_concurrent_transfers: int = 4,
+        max_retries: int = 3,
+    ) -> None:
+        if max_concurrent_transfers <= 0:
+            raise ValueError("max_concurrent_transfers must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.backend = backend
+        self.clock = clock
+        self.mechanism = mechanism
+        self.max_concurrent_transfers = max_concurrent_transfers
+        self.max_retries = max_retries
+
+        self._queues: Dict[Tuple[str, str], Deque[_QueuedTransfer]] = defaultdict(deque)
+        self._in_flight: Dict[Tuple[str, str], int] = defaultdict(int)
+        #: Outstanding transfer per (file_id, destination): staging requests
+        #: for a file that is already on its way simply join the wait list.
+        self._active_file_transfers: Dict[Tuple[str, str], _QueuedTransfer] = {}
+        self._tickets: Dict[str, StagingTicket] = {}
+        self._tickets_by_task: Dict[str, StagingTicket] = {}
+        self._staged_callbacks: List[StagedCallback] = []
+        self._transfer_callbacks: List[Callable[[TransferResult, int], None]] = []
+
+        # Aggregate statistics (Tables IV/V and Fig. 10).
+        self.total_transferred_mb = 0.0
+        self.transfer_count = 0
+        self.failed_transfer_count = 0
+        self.retry_count = 0
+        self.volume_by_pair_mb: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    # -------------------------------------------------------------- callbacks
+    def add_staged_callback(self, callback: StagedCallback) -> None:
+        """Register a callback invoked when a ticket finishes (or fails)."""
+        self._staged_callbacks.append(callback)
+
+    def add_transfer_callback(self, callback: Callable[[TransferResult, int], None]) -> None:
+        """Register a callback invoked per transfer attempt result.
+
+        The callback receives ``(result, concurrency)`` where concurrency is
+        the number of transfers that were in flight on the same endpoint pair
+        — the feature the transfer profiler trains on.
+        """
+        self._transfer_callbacks.append(callback)
+
+    # ------------------------------------------------------------------ query
+    def missing_files(self, files: Iterable[RemoteFile], endpoint: str) -> List[RemoteFile]:
+        """Input files that are not yet present on ``endpoint``."""
+        return [f for f in files if f.size_mb > 0 and not f.available_at(endpoint)]
+
+    def bytes_to_move_mb(self, files: Iterable[RemoteFile], endpoint: str) -> float:
+        """Data volume that running a task on ``endpoint`` would transfer.
+
+        This is the quantity Locality minimises when it selects an endpoint
+        (§IV-D, Fig. 3).
+        """
+        return float(sum(f.size_mb for f in self.missing_files(files, endpoint)))
+
+    def active_staging_tasks(self) -> int:
+        """Number of tasks currently waiting on data staging (Fig. 10)."""
+        return sum(1 for t in self._tickets.values() if not t.done)
+
+    def ticket_for_task(self, task_id: str) -> Optional[StagingTicket]:
+        return self._tickets_by_task.get(task_id)
+
+    # --------------------------------------------------------------- staging
+    def stage(
+        self,
+        task_id: str,
+        files: Iterable[RemoteFile],
+        destination: str,
+    ) -> StagingTicket:
+        """Ensure ``files`` are present on ``destination`` for ``task_id``.
+
+        Returns a ticket that is already ``done`` when nothing needs to move.
+        """
+        ticket = StagingTicket(
+            task_id=task_id, destination=destination, created_at=self.clock.now()
+        )
+        self._tickets[ticket.ticket_id] = ticket
+        self._tickets_by_task[task_id] = ticket
+
+        missing = self.missing_files(files, destination)
+        if not missing:
+            ticket.completed_at = self.clock.now()
+            self._notify(ticket)
+            return ticket
+
+        for file in missing:
+            dedup_key = (file.file_id, destination)
+            existing = self._active_file_transfers.get(dedup_key)
+            if existing is not None:
+                # The file is already on its way to this endpoint for another
+                # task; wait for that copy instead of transferring it again.
+                ticket.pending_transfers.add(existing.request.transfer_id)
+                existing.tickets.append(ticket)
+                continue
+            src = self._pick_source(file, destination)
+            request = TransferRequest(
+                file=file, src=src, dst=destination, mechanism=self.mechanism
+            )
+            ticket.pending_transfers.add(request.transfer_id)
+            queued = _QueuedTransfer(request=request, tickets=[ticket])
+            self._active_file_transfers[dedup_key] = queued
+            pair = (src, destination)
+            self._queues[pair].append(queued)
+            self._pump_pair(pair)
+        return ticket
+
+    def register_output(self, file: RemoteFile, endpoint: str) -> None:
+        """Record that ``file`` was produced on ``endpoint``."""
+        file.add_location(endpoint)
+
+    # -------------------------------------------------------------- internal
+    def _pick_source(self, file: RemoteFile, destination: str) -> str:
+        """Choose the replica to copy from (cheapest estimated transfer)."""
+        sources = sorted(file.locations)
+        if not sources:
+            raise ValueError(
+                f"file {file.name!r} has no replica to stage to {destination!r} from"
+            )
+        if len(sources) == 1:
+            return sources[0]
+        return min(
+            sources,
+            key=lambda src: self.backend.estimate_duration(
+                src, destination, file.size_mb, mechanism=self.mechanism
+            ),
+        )
+
+    def _pump_pair(self, pair: Tuple[str, str]) -> None:
+        queue = self._queues[pair]
+        while queue and self._in_flight[pair] < self.max_concurrent_transfers:
+            queued = queue.popleft()
+            self._in_flight[pair] += 1
+            queued.attempts += 1
+            self.transfer_count += 1
+            self.backend.start(
+                queued.request, lambda result, q=queued: self._on_transfer_done(q, result)
+            )
+
+    def _on_transfer_done(self, queued: _QueuedTransfer, result: TransferResult) -> None:
+        pair = (queued.request.src, queued.request.dst)
+        concurrency = max(1, self._in_flight[pair])
+        self._in_flight[pair] -= 1
+        dedup_key = (queued.request.file.file_id, queued.request.dst)
+        for callback in self._transfer_callbacks:
+            callback(result, concurrency)
+
+        if result.success:
+            self._active_file_transfers.pop(dedup_key, None)
+            size = queued.request.size_mb
+            self.total_transferred_mb += size
+            self.volume_by_pair_mb[pair] += size
+            for ticket in queued.tickets:
+                ticket.transferred_mb += size / len(queued.tickets)
+                ticket.pending_transfers.discard(queued.request.transfer_id)
+                if ticket.done and ticket.completed_at is None:
+                    ticket.completed_at = self.clock.now()
+                    self._notify(ticket)
+        else:
+            self.failed_transfer_count += 1
+            if queued.attempts <= self.max_retries:
+                self.retry_count += 1
+                self._queues[pair].append(queued)
+            else:
+                self._active_file_transfers.pop(dedup_key, None)
+                for ticket in queued.tickets:
+                    if ticket.failed:
+                        continue
+                    ticket.failed = True
+                    ticket.pending_transfers.discard(queued.request.transfer_id)
+                    ticket.completed_at = self.clock.now()
+                    self._notify(ticket)
+
+        self._pump_pair(pair)
+
+    def _notify(self, ticket: StagingTicket) -> None:
+        for callback in self._staged_callbacks:
+            callback(ticket)

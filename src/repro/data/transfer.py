@@ -1,0 +1,170 @@
+"""Transfer mechanisms used by the data manager (§IV-E).
+
+The data manager is mechanism-agnostic: it hands :class:`TransferRequest`
+objects to a :class:`TransferBackend` and receives completion callbacks.  Two
+backends are provided:
+
+* :class:`SimulatedTransferBackend` — models Globus/rsync transfers over the
+  wide-area :class:`~repro.sim.network.NetworkModel`; durations depend on
+  size, link bandwidth, mechanism efficiency and concurrent transfers, and
+  transfers can fail with the link's failure rate.
+* :class:`LocalCopyTransferBackend` — used in local mode, where all
+  "endpoints" share the local filesystem; transfers complete immediately
+  (optionally copying real files).
+"""
+
+from __future__ import annotations
+
+import itertools
+import shutil
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.data.remote_file import RemoteFile
+from repro.sim.kernel import SimulationKernel
+from repro.sim.network import NetworkModel
+
+__all__ = [
+    "TransferBackend",
+    "TransferRequest",
+    "TransferResult",
+    "SimulatedTransferBackend",
+    "LocalCopyTransferBackend",
+]
+
+_transfer_counter = itertools.count()
+
+
+@dataclass
+class TransferRequest:
+    """One file movement between two endpoints."""
+
+    file: RemoteFile
+    src: str
+    dst: str
+    mechanism: str = "globus"
+    transfer_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.transfer_id:
+            self.transfer_id = f"xfer-{next(_transfer_counter):08d}"
+        if self.src == self.dst:
+            raise ValueError("transfer source and destination are identical")
+
+    @property
+    def size_mb(self) -> float:
+        return self.file.size_mb
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one transfer attempt."""
+
+    request: TransferRequest
+    success: bool
+    started_at: float
+    completed_at: float
+    error: Optional[str] = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.completed_at - self.started_at
+
+
+TransferCallback = Callable[[TransferResult], None]
+
+
+class TransferBackend(ABC):
+    """Mechanism capable of executing transfers asynchronously."""
+
+    @abstractmethod
+    def start(self, request: TransferRequest, on_done: TransferCallback) -> None:
+        """Begin a transfer; ``on_done`` is invoked exactly once when it ends."""
+
+    def estimate_duration(self, src: str, dst: str, size_mb: float, mechanism: str = "globus") -> float:
+        """Best-effort duration estimate (0.0 when unknown/free)."""
+        return 0.0
+
+
+class SimulatedTransferBackend(TransferBackend):
+    """Transfers executed on the discrete-event network model."""
+
+    def __init__(self, kernel: SimulationKernel, network: NetworkModel) -> None:
+        self.kernel = kernel
+        self.network = network
+        #: Counters exposed for metrics/tests.
+        self.started_count = 0
+        self.failed_count = 0
+        self.completed_count = 0
+
+    def start(self, request: TransferRequest, on_done: TransferCallback) -> None:
+        started_at = self.kernel.now()
+        self.started_count += 1
+        self.network.register_transfer_start(request.src, request.dst)
+        failed = self.network.sample_failure(request.src, request.dst)
+        duration = self.network.sample_duration(
+            request.src, request.dst, request.size_mb, mechanism=request.mechanism
+        )
+        if failed:
+            # A failed attempt still occupies the link for part of the nominal
+            # duration before the error is detected.
+            duration *= 0.5
+
+        def finish() -> None:
+            self.network.register_transfer_end(request.src, request.dst)
+            if failed:
+                self.failed_count += 1
+            else:
+                self.completed_count += 1
+                request.file.add_location(request.dst)
+            on_done(
+                TransferResult(
+                    request=request,
+                    success=not failed,
+                    started_at=started_at,
+                    completed_at=self.kernel.now(),
+                    error="simulated transfer failure" if failed else None,
+                )
+            )
+
+        self.kernel.schedule(duration, finish, label=f"transfer-{request.mechanism}")
+
+    def estimate_duration(self, src: str, dst: str, size_mb: float, mechanism: str = "globus") -> float:
+        return self.network.estimate(src, dst, size_mb, mechanism=mechanism).duration_s
+
+
+class LocalCopyTransferBackend(TransferBackend):
+    """Immediate transfers for local mode (shared filesystem)."""
+
+    def __init__(self, clock=None, copy_files: bool = False) -> None:
+        self._clock = clock
+        self.copy_files = copy_files
+        self.completed_count = 0
+
+    def _now(self) -> float:
+        return self._clock.now() if self._clock is not None else 0.0
+
+    def start(self, request: TransferRequest, on_done: TransferCallback) -> None:
+        now = self._now()
+        error = None
+        success = True
+        if self.copy_files and request.file.local_path:
+            try:
+                destination = f"{request.file.local_path}.{request.dst}"
+                shutil.copyfile(request.file.local_path, destination)
+            except OSError as exc:
+                success = False
+                error = str(exc)
+        if success:
+            request.file.add_location(request.dst)
+            self.completed_count += 1
+        on_done(
+            TransferResult(
+                request=request,
+                success=success,
+                started_at=now,
+                completed_at=self._now(),
+                error=error,
+            )
+        )

@@ -1,0 +1,15 @@
+"""Multi-endpoint elasticity (§IV-H)."""
+
+from repro.elastic.scaling import (
+    DefaultScalingStrategy,
+    NoScalingStrategy,
+    ScalingDecision,
+    ScalingStrategy,
+)
+
+__all__ = [
+    "DefaultScalingStrategy",
+    "NoScalingStrategy",
+    "ScalingDecision",
+    "ScalingStrategy",
+]

@@ -1,0 +1,106 @@
+"""Multi-endpoint scaling strategies (§IV-H).
+
+Each funcX endpoint can already scale itself, but it only sees its own queue.
+UniFaaS, with a global view of the workflow, can scale multiple endpoints in
+advance.  The default strategy follows the paper: *scale out aggressively,
+scale in conservatively* — if the workflow has more pending tasks than there
+are workers in the pool, every endpoint is asked to scale out; scale-in is
+left to the endpoints' own idle timeouts (releasing idle workers is easy,
+acquiring workers on a busy batch system is not).
+
+Users plug in their own policy by implementing :class:`ScalingStrategy` and
+passing it to the client (the ``Scaling`` interface of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+__all__ = ["ScalingDecision", "ScalingStrategy", "DefaultScalingStrategy", "NoScalingStrategy"]
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Workers to request per endpoint (only scale-out; scale-in is local)."""
+
+    workers_to_request: Mapping[str, int]
+
+    def total(self) -> int:
+        return sum(self.workers_to_request.values())
+
+    @classmethod
+    def none(cls) -> "ScalingDecision":
+        return cls(workers_to_request={})
+
+
+@dataclass(frozen=True)
+class EndpointView:
+    """What a scaling strategy may know about one endpoint."""
+
+    name: str
+    active_workers: int
+    idle_workers: int
+    outstanding_tasks: int
+    max_workers: int
+
+
+class ScalingStrategy(ABC):
+    """Policy deciding how many extra workers each endpoint should request."""
+
+    @abstractmethod
+    def decide(
+        self,
+        pending_tasks: int,
+        endpoints: Mapping[str, EndpointView],
+    ) -> ScalingDecision:
+        """Return the scale-out request given the current workflow pressure."""
+
+
+class NoScalingStrategy(ScalingStrategy):
+    """Never request workers (static-capacity experiments)."""
+
+    def decide(self, pending_tasks: int, endpoints: Mapping[str, EndpointView]) -> ScalingDecision:
+        return ScalingDecision.none()
+
+
+class DefaultScalingStrategy(ScalingStrategy):
+    """The paper's default: aggressive scale-out, conservative scale-in.
+
+    When the number of pending tasks exceeds the total number of workers,
+    every endpoint is asked to scale out toward its cap, proportionally to
+    how much of the shortfall it can absorb.
+    """
+
+    def __init__(self, caps: Optional[Mapping[str, int]] = None) -> None:
+        #: Optional per-endpoint cap overriding the endpoint's own maximum
+        #: (the ``max_workers`` field of :class:`~repro.core.config.ExecutorSpec`).
+        self.caps = dict(caps or {})
+
+    def decide(
+        self,
+        pending_tasks: int,
+        endpoints: Mapping[str, EndpointView],
+    ) -> ScalingDecision:
+        total_workers = sum(view.active_workers for view in endpoints.values())
+        if pending_tasks <= total_workers:
+            return ScalingDecision.none()
+
+        shortfall = pending_tasks - total_workers
+        requests: Dict[str, int] = {}
+        headrooms: Dict[str, int] = {}
+        for name, view in endpoints.items():
+            cap = self.caps.get(name, view.max_workers)
+            headrooms[name] = max(0, min(cap, view.max_workers) - view.active_workers)
+        total_headroom = sum(headrooms.values())
+        if total_headroom == 0:
+            return ScalingDecision.none()
+
+        for name, headroom in headrooms.items():
+            if headroom <= 0:
+                continue
+            # Scale out aggressively: ask for the whole shortfall, bounded by
+            # what this endpoint may still grow by.
+            requests[name] = min(headroom, shortfall)
+        return ScalingDecision(workers_to_request=requests)

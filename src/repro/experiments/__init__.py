@@ -1,0 +1,51 @@
+"""Experiment harnesses reproducing the paper's evaluation (§V, §VI).
+
+Each module regenerates one table or figure:
+
+* :mod:`repro.experiments.environment` — builders for simulated testbeds.
+* :mod:`repro.experiments.latency` — Fig. 5 latency breakdown.
+* :mod:`repro.experiments.scaling` — Fig. 6 strong/weak scaling.
+* :mod:`repro.experiments.elasticity` — Fig. 7 multi-endpoint elasticity.
+* :mod:`repro.experiments.overhead` — Table III scheduler overhead.
+* :mod:`repro.experiments.case_studies` — Tables IV/V and Figs. 9–13.
+"""
+
+from repro.experiments.environment import (
+    EndpointSetup,
+    SimulationEnvironment,
+    build_simulation,
+    paper_testbed_network,
+    paper_testbed_setups,
+    single_cluster_environment,
+)
+from repro.experiments.case_studies import (
+    CaseStudyResult,
+    run_case_study,
+    run_dynamic_capacity_study,
+    run_static_capacity_study,
+)
+from repro.experiments.elasticity import ElasticityResult, run_elasticity_experiment
+from repro.experiments.latency import LatencyExperimentResult, run_latency_experiment
+from repro.experiments.overhead import OverheadResult, run_overhead_experiment
+from repro.experiments.scaling import ScalingResult, run_scaling_experiment
+
+__all__ = [
+    "CaseStudyResult",
+    "ElasticityResult",
+    "EndpointSetup",
+    "LatencyExperimentResult",
+    "OverheadResult",
+    "ScalingResult",
+    "SimulationEnvironment",
+    "build_simulation",
+    "paper_testbed_network",
+    "paper_testbed_setups",
+    "run_case_study",
+    "run_dynamic_capacity_study",
+    "run_elasticity_experiment",
+    "run_latency_experiment",
+    "run_overhead_experiment",
+    "run_scaling_experiment",
+    "run_static_capacity_study",
+    "single_cluster_environment",
+]

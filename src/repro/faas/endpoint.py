@@ -1,0 +1,359 @@
+"""Simulated funcX-style endpoints.
+
+An endpoint represents one computing resource (cluster) integrated into the
+federated fabric.  It elastically manages a pool of workers, queues the tasks
+dispatched to it, executes them (in simulation: for a sampled duration scaled
+by the cluster's hardware speed), and reports status snapshots.
+
+The endpoint reproduces the behaviours UniFaaS depends on:
+
+* **elasticity** — more workers are provisioned (in node-sized units, after a
+  batch-queue delay) when tasks outnumber workers, and idle workers are
+  released after an idle interval (§IV-H, Fig. 7);
+* **dynamic capacity** — scheduled capacity changes model other users and
+  downtimes taking resources away or returning them (§VI-B, Figs. 12–13);
+* **failure injection** — tasks can fail with a configurable probability to
+  exercise the fault-tolerance path (§IV-G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.exceptions import EndpointError
+from repro.faas.types import EndpointStatus, TaskExecutionRecord, TaskExecutionRequest
+from repro.sim.hardware import ClusterSpec
+from repro.sim.kernel import SimulationKernel
+
+__all__ = ["CapacityChange", "SimulatedEndpoint"]
+
+CompletionCallback = Callable[[TaskExecutionRecord], None]
+
+
+@dataclass(frozen=True)
+class CapacityChange:
+    """A scheduled change of an endpoint's available capacity.
+
+    ``delta_workers`` is positive when resources are added (e.g. another
+    user's allocation ends) and negative when they are taken away.
+    """
+
+    at_time_s: float
+    delta_workers: int
+
+    def __post_init__(self) -> None:
+        if self.at_time_s < 0:
+            raise ValueError("at_time_s must be non-negative")
+        if self.delta_workers == 0:
+            raise ValueError("delta_workers must be non-zero")
+
+
+@dataclass
+class _RunningTask:
+    request: TaskExecutionRequest
+    submitted_at: float
+    started_at: float
+    worker_id: str
+
+
+class SimulatedEndpoint:
+    """Discrete-event model of a funcX endpoint deployed on one cluster."""
+
+    def __init__(
+        self,
+        name: str,
+        cluster: ClusterSpec,
+        kernel: SimulationKernel,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        initial_workers: int = 0,
+        max_workers: Optional[int] = None,
+        auto_scale: bool = True,
+        idle_shutdown_s: float = 30.0,
+        scale_check_interval_s: float = 10.0,
+        execution_overhead_s: float = 0.0,
+        failure_rate: float = 0.0,
+        duration_jitter: float = 0.0,
+    ) -> None:
+        if initial_workers < 0:
+            raise EndpointError(f"initial_workers must be non-negative, got {initial_workers}")
+        self.name = name
+        self.cluster = cluster
+        self.kernel = kernel
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_workers = max_workers if max_workers is not None else cluster.max_workers
+        if self.max_workers <= 0:
+            raise EndpointError("max_workers must be positive")
+        if initial_workers > self.max_workers:
+            raise EndpointError(
+                f"initial_workers ({initial_workers}) exceeds max_workers ({self.max_workers})"
+            )
+        self.auto_scale = auto_scale
+        self.idle_shutdown_s = idle_shutdown_s
+        self.execution_overhead_s = execution_overhead_s
+        self.failure_rate = failure_rate
+        self.duration_jitter = duration_jitter
+
+        # Worker accounting.  Workers are modelled as counters; individual
+        # worker identities only matter for execution records.
+        self._active_workers = initial_workers
+        self._busy_workers = 0
+        self._provisioning_workers = 0
+        self._pending_removals = 0
+
+        self._queue: Deque[tuple[TaskExecutionRequest, float]] = deque()
+        self._running: Dict[str, _RunningTask] = {}
+        self._completion_callbacks: List[CompletionCallback] = []
+
+        self._last_activity_at = kernel.now()
+        self._worker_seq = 0
+
+        # Statistics used by the metrics layer and tests.
+        self.completed_count = 0
+        self.failed_count = 0
+        self.busy_core_seconds = 0.0
+        self.dispatched_count = 0
+
+        if auto_scale and scale_check_interval_s > 0:
+            # Daemon: idle-pool housekeeping must not keep the simulation alive.
+            kernel.schedule_periodic(
+                scale_check_interval_s, self._idle_scale_in_check, daemon=True
+            )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def active_workers(self) -> int:
+        """Workers currently provisioned (busy + idle)."""
+        return self._active_workers
+
+    @property
+    def busy_workers(self) -> int:
+        return self._busy_workers
+
+    @property
+    def idle_workers(self) -> int:
+        return self._active_workers - self._busy_workers
+
+    @property
+    def queued_tasks(self) -> int:
+        """Tasks dispatched to this endpoint but not yet running."""
+        return len(self._queue)
+
+    @property
+    def running_tasks(self) -> int:
+        return len(self._running)
+
+    @property
+    def speed_factor(self) -> float:
+        return self.cluster.speed_factor
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of provisioned workers currently busy."""
+        if self._active_workers == 0:
+            return 0.0
+        return self._busy_workers / self._active_workers
+
+    # --------------------------------------------------------------- control
+    def add_completion_callback(self, callback: CompletionCallback) -> None:
+        self._completion_callbacks.append(callback)
+
+    def status(self) -> EndpointStatus:
+        """Ground-truth status snapshot (the service caches these)."""
+        hw = self.cluster.hardware
+        return EndpointStatus(
+            endpoint=self.name,
+            online=True,
+            active_workers=self._active_workers,
+            busy_workers=self._busy_workers,
+            idle_workers=self.idle_workers,
+            pending_tasks=len(self._queue),
+            max_workers=self.max_workers,
+            cores_per_node=hw.cores_per_node,
+            cpu_freq_ghz=hw.cpu_freq_ghz,
+            ram_gb=hw.ram_gb,
+            as_of=self.kernel.now(),
+        )
+
+    # ------------------------------------------------------------ submission
+    def submit(self, request: TaskExecutionRequest, submitted_at: Optional[float] = None) -> None:
+        """Accept a task dispatched to this endpoint."""
+        if request.sim_duration_s is None:
+            raise EndpointError(
+                f"simulated endpoint {self.name} received a request without sim_duration_s"
+            )
+        when = self.kernel.now() if submitted_at is None else submitted_at
+        self._queue.append((request, when))
+        self._last_activity_at = self.kernel.now()
+        self.dispatched_count += 1
+        if self.auto_scale:
+            self._maybe_scale_out()
+        self._start_queued_tasks()
+
+    # --------------------------------------------------------------- scaling
+    def request_workers(self, count: int) -> int:
+        """Provision up to ``count`` additional workers (node-granular).
+
+        Returns the number of workers actually requested; provisioning
+        completes after the cluster's batch-queue delay.
+        """
+        if count <= 0:
+            return 0
+        headroom = self.max_workers - (
+            self._active_workers + self._provisioning_workers
+        )
+        if headroom <= 0:
+            return 0
+        per_node = self.cluster.workers_per_node
+        nodes = max(1, -(-min(count, headroom) // per_node))  # ceil division
+        workers = min(nodes * per_node, headroom)
+        if workers <= 0:
+            return 0
+        self._provisioning_workers += workers
+        delay = self._sample_queue_delay()
+        self.kernel.schedule(delay, self._provision_arrived, workers, label=f"{self.name}-provision")
+        return workers
+
+    def release_idle_workers(self, count: Optional[int] = None) -> int:
+        """Immediately release up to ``count`` idle workers (all if ``None``)."""
+        releasable = self.idle_workers
+        to_release = releasable if count is None else min(count, releasable)
+        if to_release <= 0:
+            return 0
+        self._active_workers -= to_release
+        return to_release
+
+    def apply_capacity_change(self, delta_workers: int) -> None:
+        """Apply a capacity change right now (used by the schedule below)."""
+        if delta_workers > 0:
+            self.max_workers = max(self.max_workers, self._active_workers + delta_workers)
+            self._active_workers += delta_workers
+            self._start_queued_tasks()
+        else:
+            removal = -delta_workers
+            self.max_workers = max(1, self.max_workers - removal)
+            idle_removed = self.release_idle_workers(removal)
+            # Busy workers drain: they finish their current task and are then
+            # retired instead of returning to the idle pool.
+            self._pending_removals += removal - idle_removed
+
+    def set_capacity_schedule(self, changes: List[CapacityChange]) -> None:
+        """Schedule future capacity changes on the simulation kernel."""
+        for change in changes:
+            self.kernel.schedule_at(
+                change.at_time_s,
+                self.apply_capacity_change,
+                change.delta_workers,
+                label=f"{self.name}-capacity",
+            )
+
+    # -------------------------------------------------------------- internal
+    def _sample_queue_delay(self) -> float:
+        spec = self.cluster
+        if spec.queue_delay_mean_s <= 0:
+            return 0.0
+        delay = self.rng.normal(spec.queue_delay_mean_s, spec.queue_delay_std_s)
+        return float(max(0.0, delay))
+
+    def _provision_arrived(self, workers: int) -> None:
+        self._provisioning_workers -= workers
+        grant = min(workers, self.max_workers - self._active_workers)
+        if grant > 0:
+            self._active_workers += grant
+            self._start_queued_tasks()
+
+    def _maybe_scale_out(self) -> None:
+        demand = len(self._queue) - self.idle_workers - self._provisioning_workers
+        if demand > 0:
+            self.request_workers(demand)
+
+    def _idle_scale_in_check(self) -> None:
+        if not self.auto_scale:
+            return
+        if self._queue or self._busy_workers:
+            return
+        if self.idle_workers == 0:
+            return
+        if self.kernel.now() - self._last_activity_at >= self.idle_shutdown_s:
+            self.release_idle_workers()
+
+    def _start_queued_tasks(self) -> None:
+        while self._queue:
+            request, submitted_at = self._queue[0]
+            if self.idle_workers < request.cores:
+                break
+            self._queue.popleft()
+            self._busy_workers += request.cores
+            self._worker_seq += 1
+            worker_id = f"{self.name}-worker-{self._worker_seq}"
+            started_at = self.kernel.now()
+            running = _RunningTask(
+                request=request,
+                submitted_at=submitted_at,
+                started_at=started_at,
+                worker_id=worker_id,
+            )
+            self._running[request.task_id] = running
+            duration = self._execution_duration(request)
+            self.kernel.schedule(
+                duration, self._finish_task, request.task_id, label=f"{self.name}-exec"
+            )
+
+    def _execution_duration(self, request: TaskExecutionRequest) -> float:
+        duration = request.sim_duration_s / self.speed_factor
+        if self.duration_jitter > 0:
+            duration *= float(self.rng.lognormal(0.0, self.duration_jitter))
+        return self.execution_overhead_s + duration
+
+    def _finish_task(self, task_id: str) -> None:
+        running = self._running.pop(task_id)
+        request = running.request
+        self._busy_workers -= request.cores
+        self._last_activity_at = self.kernel.now()
+
+        # Retire workers earmarked for removal by a capacity decrease.
+        if self._pending_removals > 0:
+            retire = min(self._pending_removals, request.cores, self.idle_workers)
+            self._active_workers -= retire
+            self._pending_removals -= retire
+
+        failed = self.failure_rate > 0 and bool(self.rng.random() < self.failure_rate)
+        completed_at = self.kernel.now()
+        self.busy_core_seconds += (completed_at - running.started_at) * request.cores
+        if failed:
+            self.failed_count += 1
+        else:
+            self.completed_count += 1
+
+        hw = self.cluster.hardware
+        record = TaskExecutionRecord(
+            task_id=task_id,
+            endpoint=self.name,
+            function_name=request.function_name,
+            success=not failed,
+            submitted_at=running.submitted_at,
+            started_at=running.started_at,
+            completed_at=completed_at,
+            input_mb=request.input_mb,
+            output_mb=request.sim_output_mb if not failed else 0.0,
+            result=None,
+            error="injected task failure" if failed else None,
+            worker_id=running.worker_id,
+            cores_per_node=hw.cores_per_node,
+            cpu_freq_ghz=hw.cpu_freq_ghz,
+            ram_gb=hw.ram_gb,
+        )
+        for callback in self._completion_callbacks:
+            callback(record)
+        self._start_queued_tasks()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedEndpoint({self.name!r}, active={self._active_workers}, "
+            f"busy={self._busy_workers}, queued={len(self._queue)})"
+        )

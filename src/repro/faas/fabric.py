@@ -1,0 +1,192 @@
+"""Execution fabric abstraction used by the UniFaaS engine.
+
+The orchestration engine (:class:`repro.core.client.UniFaaSClient`) programs
+against :class:`ExecutionFabric`, which hides whether tasks run on the
+discrete-event simulation substrate (:class:`SimulatedFabric`) or on real
+thread-pool endpoints on the local machine
+(:class:`repro.faas.local.LocalFabric`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.dag import Task
+from repro.core.exceptions import EndpointError
+from repro.faas.client import FaaSClient
+from repro.faas.endpoint import SimulatedEndpoint
+from repro.faas.service import FederatedFaaSService
+from repro.faas.types import EndpointStatus, TaskExecutionRecord, TaskExecutionRequest
+from repro.sim.kernel import Clock, SimulationKernel
+
+__all__ = ["ExecutionFabric", "SimulatedFabric"]
+
+
+class ExecutionFabric(ABC):
+    """Interface between the orchestration engine and task execution."""
+
+    #: Time source shared with the engine, data manager and monitors.
+    clock: Clock
+
+    # ------------------------------------------------------------- topology
+    @abstractmethod
+    def endpoint_names(self) -> List[str]:
+        """Names of the endpoints available for execution."""
+
+    @abstractmethod
+    def endpoint_status(self, name: str, force_refresh: bool = False) -> EndpointStatus:
+        """Service-side (possibly stale) status of an endpoint."""
+
+    @abstractmethod
+    def true_status(self, name: str) -> EndpointStatus:
+        """Ground-truth endpoint status (metrics/diagnostics only)."""
+
+    @abstractmethod
+    def speed_factor(self, name: str) -> float:
+        """Relative hardware speed of an endpoint (1.0 = reference)."""
+
+    # ------------------------------------------------------------ execution
+    @abstractmethod
+    def build_request(self, task: Task, resolved_args: Optional[tuple] = None,
+                      resolved_kwargs: Optional[dict] = None) -> TaskExecutionRequest:
+        """Create the execution request for ``task``."""
+
+    @abstractmethod
+    def submit(self, endpoint_name: str, request: TaskExecutionRequest) -> None:
+        """Dispatch a request to an endpoint."""
+
+    def flush(self) -> None:
+        """Force any batched submissions out (no-op by default)."""
+
+    @abstractmethod
+    def process(self, timeout_s: Optional[float] = None) -> List[TaskExecutionRecord]:
+        """Advance the fabric and return newly completed execution records."""
+
+    @abstractmethod
+    def pending_work(self) -> bool:
+        """True while the fabric still has queued events or running tasks."""
+
+    # -------------------------------------------------------------- scaling
+    def request_workers(self, name: str, count: int) -> int:
+        """Ask an endpoint to provision more workers (0 if unsupported)."""
+        return 0
+
+    def release_idle_workers(self, name: str, count: Optional[int] = None) -> int:
+        """Ask an endpoint to release idle workers (0 if unsupported)."""
+        return 0
+
+    # -------------------------------------------------------------- metrics
+    def worker_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-endpoint worker counters for the metrics collector."""
+        snapshot: Dict[str, Dict[str, int]] = {}
+        for name in self.endpoint_names():
+            status = self.true_status(name)
+            snapshot[name] = {
+                "active": status.active_workers,
+                "busy": status.busy_workers,
+                "idle": status.idle_workers,
+                "pending": status.pending_tasks,
+            }
+        return snapshot
+
+
+class SimulatedFabric(ExecutionFabric):
+    """Fabric backed by the discrete-event simulation substrate."""
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        service: FederatedFaaSService,
+        *,
+        batch_size: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.clock = kernel.clock
+        self.service = service
+        self.faas_client = FaaSClient(service, batch_size=batch_size)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._completions: List[TaskExecutionRecord] = []
+        self._outstanding = 0
+        service.add_result_callback(self._on_result)
+
+    # ------------------------------------------------------------- topology
+    def endpoint_names(self) -> List[str]:
+        return self.service.endpoint_names()
+
+    def endpoint(self, name: str) -> SimulatedEndpoint:
+        return self.service.endpoint(name)
+
+    def endpoint_status(self, name: str, force_refresh: bool = False) -> EndpointStatus:
+        return self.service.endpoint_status(name, force_refresh=force_refresh)
+
+    def true_status(self, name: str) -> EndpointStatus:
+        return self.service.endpoint(name).status()
+
+    def speed_factor(self, name: str) -> float:
+        return self.service.endpoint(name).speed_factor
+
+    # ------------------------------------------------------------ execution
+    def build_request(
+        self,
+        task: Task,
+        resolved_args: Optional[tuple] = None,
+        resolved_kwargs: Optional[dict] = None,
+    ) -> TaskExecutionRequest:
+        profile = task.sim_profile
+        input_mb = task.input_size_mb
+        jitter_draw = 1.0
+        if profile.jitter > 0:
+            jitter_draw = float(self._rng.lognormal(0.0, profile.jitter))
+        duration = profile.duration_on(1.0, input_mb=input_mb, jitter_draw=jitter_draw)
+        return TaskExecutionRequest(
+            task_id=task.task_id,
+            function_name=task.name,
+            cores=profile.cores,
+            input_mb=input_mb,
+            sim_duration_s=duration,
+            sim_output_mb=profile.output_mb(input_mb),
+        )
+
+    def submit(self, endpoint_name: str, request: TaskExecutionRequest) -> None:
+        if endpoint_name not in self.service.endpoint_names():
+            raise EndpointError(f"unknown endpoint {endpoint_name!r}")
+        self._outstanding += 1
+        self.faas_client.submit(endpoint_name, request)
+
+    def flush(self) -> None:
+        self.faas_client.flush()
+
+    def process(self, timeout_s: Optional[float] = None) -> List[TaskExecutionRecord]:
+        # Make sure batched submissions are not stuck waiting for a full batch
+        # while the kernel runs out of other events.
+        if self.faas_client.queued_requests and self.kernel.pending_events == 0:
+            self.faas_client.flush()
+        self.kernel.step()
+        return self.drain_completions()
+
+    def drain_completions(self) -> List[TaskExecutionRecord]:
+        out = self._completions
+        self._completions = []
+        return out
+
+    def pending_work(self) -> bool:
+        return (
+            self.kernel.pending_events > 0
+            or self.faas_client.queued_requests > 0
+            or self._outstanding > 0
+        )
+
+    def _on_result(self, record: TaskExecutionRecord) -> None:
+        self._outstanding = max(0, self._outstanding - 1)
+        self._completions.append(record)
+
+    # -------------------------------------------------------------- scaling
+    def request_workers(self, name: str, count: int) -> int:
+        return self.service.endpoint(name).request_workers(count)
+
+    def release_idle_workers(self, name: str, count: Optional[int] = None) -> int:
+        return self.service.endpoint(name).release_idle_workers(count)

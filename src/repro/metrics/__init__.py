@@ -1,0 +1,10 @@
+"""Metrics collection for experiments and benchmarks."""
+
+from repro.metrics.collector import (
+    LatencyBreakdown,
+    MetricsCollector,
+    TimeSeries,
+    WorkflowSummary,
+)
+
+__all__ = ["LatencyBreakdown", "MetricsCollector", "TimeSeries", "WorkflowSummary"]

@@ -1,0 +1,217 @@
+"""Metrics collected while a workflow runs.
+
+Everything the paper's evaluation plots or tabulates is gathered here:
+
+* makespan and total transfer volume (Tables IV and V),
+* per-endpoint active/busy worker time-series and aggregate worker
+  utilisation (Figs. 7, 9, 12, 13),
+* number of tasks in the data-staging state over time (Fig. 10),
+* tasks assigned per endpoint / per worker (Fig. 11),
+* number of re-scheduled tasks over time (Figs. 12–13),
+* per-component latency breakdown of a task (Fig. 5), and
+* real (wall-clock) scheduler overhead per task (Table III).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyBreakdown", "MetricsCollector", "TimeSeries", "WorkflowSummary"]
+
+
+@dataclass
+class TimeSeries:
+    """A sampled time series (times and values of equal length)."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, value: float) -> None:
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-component latency of one task (Fig. 5), in seconds."""
+
+    scheduling_s: float = 0.0
+    data_management_s: float = 0.0
+    submission_s: float = 0.0
+    execution_s: float = 0.0
+    result_polling_s: float = 0.0
+    result_logging_s: float = 0.0
+
+    def total(self) -> float:
+        return (
+            self.scheduling_s
+            + self.data_management_s
+            + self.submission_s
+            + self.execution_s
+            + self.result_polling_s
+            + self.result_logging_s
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "scheduling_s": self.scheduling_s,
+            "data_management_s": self.data_management_s,
+            "submission_s": self.submission_s,
+            "execution_s": self.execution_s,
+            "result_polling_s": self.result_polling_s,
+            "result_logging_s": self.result_logging_s,
+        }
+
+
+@dataclass
+class WorkflowSummary:
+    """End-of-run summary of a workflow execution."""
+
+    makespan_s: float
+    total_tasks: int
+    completed_tasks: int
+    failed_tasks: int
+    transfer_volume_gb: float
+    rescheduled_tasks: int
+    mean_worker_utilization: float
+    scheduler_overhead_per_task_s: float
+    tasks_per_endpoint: Dict[str, int]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "makespan_s": self.makespan_s,
+            "total_tasks": self.total_tasks,
+            "completed_tasks": self.completed_tasks,
+            "failed_tasks": self.failed_tasks,
+            "transfer_volume_gb": self.transfer_volume_gb,
+            "rescheduled_tasks": self.rescheduled_tasks,
+            "mean_worker_utilization": self.mean_worker_utilization,
+            "scheduler_overhead_per_task_s": self.scheduler_overhead_per_task_s,
+            "tasks_per_endpoint": dict(self.tasks_per_endpoint),
+        }
+
+
+class MetricsCollector:
+    """Accumulates counters and time-series for one workflow run."""
+
+    def __init__(self, sample_interval_s: float = 5.0) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        self.sample_interval_s = sample_interval_s
+
+        # Time-series keyed by endpoint name.
+        self.active_workers: Dict[str, TimeSeries] = defaultdict(TimeSeries)
+        self.busy_workers: Dict[str, TimeSeries] = defaultdict(TimeSeries)
+        self.pending_tasks: Dict[str, TimeSeries] = defaultdict(TimeSeries)
+        # Aggregate series.
+        self.utilization = TimeSeries()
+        self.staging_tasks = TimeSeries()
+        self.rescheduled_tasks_series = TimeSeries()
+
+        # Counters.
+        self.tasks_completed_by_endpoint: Dict[str, int] = defaultdict(int)
+        self.tasks_by_function: Dict[str, int] = defaultdict(int)
+        self.rescheduled_count = 0
+        self.failed_count = 0
+        self.completed_count = 0
+
+        # Scheduler overhead (real CPU/wall time, Table III).
+        self.scheduling_cpu_s = 0.0
+        self.scheduled_decisions = 0
+
+        # Workflow bounds.
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+        # Optional latency breakdowns keyed by task id (Fig. 5).
+        self.latency_breakdowns: Dict[str, LatencyBreakdown] = {}
+
+    # ----------------------------------------------------------------- events
+    def workflow_started(self, now: float) -> None:
+        self.started_at = now
+
+    def workflow_finished(self, now: float) -> None:
+        self.finished_at = now
+
+    def record_completion(self, endpoint: str, function_name: str, success: bool) -> None:
+        if success:
+            self.completed_count += 1
+            self.tasks_completed_by_endpoint[endpoint] += 1
+            self.tasks_by_function[function_name] += 1
+        else:
+            self.failed_count += 1
+
+    def record_reschedule(self, count: int = 1) -> None:
+        self.rescheduled_count += count
+
+    def record_scheduling_overhead(self, cpu_seconds: float, decisions: int) -> None:
+        self.scheduling_cpu_s += cpu_seconds
+        self.scheduled_decisions += decisions
+
+    def record_latency_breakdown(self, task_id: str, breakdown: LatencyBreakdown) -> None:
+        self.latency_breakdowns[task_id] = breakdown
+
+    # --------------------------------------------------------------- sampling
+    def sample(
+        self,
+        now: float,
+        worker_snapshot: Dict[str, Dict[str, int]],
+        staging_tasks: int,
+        pending_by_endpoint: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Record one sample of the system state (periodic)."""
+        total_active = 0
+        total_busy = 0
+        for endpoint, counters in worker_snapshot.items():
+            active = counters.get("active", 0)
+            busy = counters.get("busy", 0)
+            self.active_workers[endpoint].append(now, active)
+            self.busy_workers[endpoint].append(now, busy)
+            total_active += active
+            total_busy += busy
+        utilization = (total_busy / total_active * 100.0) if total_active else 0.0
+        self.utilization.append(now, utilization)
+        self.staging_tasks.append(now, staging_tasks)
+        self.rescheduled_tasks_series.append(now, self.rescheduled_count)
+        if pending_by_endpoint:
+            for endpoint, pending in pending_by_endpoint.items():
+                self.pending_tasks[endpoint].append(now, pending)
+
+    # ---------------------------------------------------------------- summary
+    @property
+    def makespan_s(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    def scheduler_overhead_per_task_s(self) -> float:
+        if self.scheduled_decisions == 0:
+            return 0.0
+        return self.scheduling_cpu_s / self.scheduled_decisions
+
+    def summary(self, transfer_volume_mb: float = 0.0) -> WorkflowSummary:
+        return WorkflowSummary(
+            makespan_s=self.makespan_s,
+            total_tasks=self.completed_count + self.failed_count,
+            completed_tasks=self.completed_count,
+            failed_tasks=self.failed_count,
+            transfer_volume_gb=transfer_volume_mb / 1024.0,
+            rescheduled_tasks=self.rescheduled_count,
+            mean_worker_utilization=self.utilization.mean(),
+            scheduler_overhead_per_task_s=self.scheduler_overhead_per_task_s(),
+            tasks_per_endpoint=dict(self.tasks_completed_by_endpoint),
+        )

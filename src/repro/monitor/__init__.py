@@ -1,0 +1,20 @@
+"""Monitoring layer (§IV-B).
+
+The *task monitor* streams task execution records into a local history store
+and to the profilers; the *endpoint monitor* keeps a locally mocked, real-time
+view of every endpoint because the service's own status is only refreshed
+periodically.
+"""
+
+from repro.monitor.store import HistoryStore, TaskRecord, TransferRecord
+from repro.monitor.task_monitor import TaskMonitor
+from repro.monitor.endpoint_monitor import EndpointMonitor, MockEndpoint
+
+__all__ = [
+    "EndpointMonitor",
+    "HistoryStore",
+    "MockEndpoint",
+    "TaskMonitor",
+    "TaskRecord",
+    "TransferRecord",
+]

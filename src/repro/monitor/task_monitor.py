@@ -1,0 +1,118 @@
+"""Task monitor (§IV-B).
+
+Tracks task execution information — state transitions, completion times,
+input/output sizes and which endpoint ran the task — and streams it into the
+local history store and to any registered listeners (the profilers).  It also
+maintains the per-endpoint success-rate statistics used by the fault
+tolerance layer when reassigning repeatedly failing tasks (§IV-G).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from repro.faas.types import TaskExecutionRecord
+from repro.monitor.store import HistoryStore, TaskRecord, TransferRecord
+from repro.data.transfer import TransferResult
+
+__all__ = ["TaskMonitor"]
+
+RecordListener = Callable[[TaskExecutionRecord], None]
+TransferListener = Callable[[TransferResult], None]
+
+
+class TaskMonitor:
+    """Collects execution and transfer observations."""
+
+    def __init__(self, store: Optional[HistoryStore] = None) -> None:
+        self.store = store or HistoryStore()
+        self._task_listeners: List[RecordListener] = []
+        self._transfer_listeners: List[TransferListener] = []
+        self._success_by_endpoint: Dict[str, int] = defaultdict(int)
+        self._failure_by_endpoint: Dict[str, int] = defaultdict(int)
+        self._exec_time_sum: Dict[str, float] = defaultdict(float)
+        self._exec_time_count: Dict[str, int] = defaultdict(int)
+        self.records_seen = 0
+
+    # ------------------------------------------------------------- listeners
+    def add_task_listener(self, listener: RecordListener) -> None:
+        self._task_listeners.append(listener)
+
+    def add_transfer_listener(self, listener: TransferListener) -> None:
+        self._transfer_listeners.append(listener)
+
+    # ------------------------------------------------------------ observation
+    def observe_task(self, record: TaskExecutionRecord) -> None:
+        """Ingest one task execution record."""
+        self.records_seen += 1
+        if record.success:
+            self._success_by_endpoint[record.endpoint] += 1
+            key = record.function_name
+            self._exec_time_sum[key] += record.execution_time_s
+            self._exec_time_count[key] += 1
+        else:
+            self._failure_by_endpoint[record.endpoint] += 1
+
+        self.store.add_task_record(
+            TaskRecord(
+                function_name=record.function_name,
+                endpoint=record.endpoint,
+                input_mb=record.input_mb,
+                output_mb=record.output_mb,
+                execution_time_s=record.execution_time_s,
+                cores_per_node=record.cores_per_node,
+                cpu_freq_ghz=record.cpu_freq_ghz,
+                ram_gb=record.ram_gb,
+                success=record.success,
+                timestamp=record.completed_at,
+            )
+        )
+        for listener in self._task_listeners:
+            listener(record)
+
+    def observe_transfer(self, result: TransferResult, concurrency: int = 1) -> None:
+        """Ingest one transfer result."""
+        self.store.add_transfer_record(
+            TransferRecord(
+                src=result.request.src,
+                dst=result.request.dst,
+                size_mb=result.request.size_mb,
+                duration_s=result.duration_s,
+                mechanism=result.request.mechanism,
+                concurrency=concurrency,
+                success=result.success,
+                timestamp=result.completed_at,
+            )
+        )
+        for listener in self._transfer_listeners:
+            listener(result)
+
+    # -------------------------------------------------------------- summaries
+    def success_rate(self, endpoint: str) -> float:
+        """Fraction of tasks that succeeded on ``endpoint`` (1.0 if unseen)."""
+        successes = self._success_by_endpoint.get(endpoint, 0)
+        failures = self._failure_by_endpoint.get(endpoint, 0)
+        total = successes + failures
+        if total == 0:
+            return 1.0
+        return successes / total
+
+    def most_reliable_endpoint(self, candidates: List[str]) -> str:
+        """Endpoint with the highest observed success rate (§IV-G)."""
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        return max(candidates, key=lambda ep: (self.success_rate(ep), ep))
+
+    def mean_execution_time(self, function_name: str) -> Optional[float]:
+        """Mean observed execution time of a function (None if unseen)."""
+        count = self._exec_time_count.get(function_name, 0)
+        if count == 0:
+            return None
+        return self._exec_time_sum[function_name] / count
+
+    def completed_task_count(self) -> int:
+        return sum(self._success_by_endpoint.values())
+
+    def failed_task_count(self) -> int:
+        return sum(self._failure_by_endpoint.values())

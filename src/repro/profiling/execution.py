@@ -1,0 +1,198 @@
+"""Execution profiler (§IV-C).
+
+One performance model is maintained per function.  The model takes the input
+size and the endpoint's hardware features (cores, CPU frequency, RAM) and
+estimates the task's execution time and output data size.  Models are
+(re)trained from the history store when the workflow starts and refreshed
+periodically as the task monitor streams in new observations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faas.types import TaskExecutionRecord
+from repro.monitor.store import HistoryStore, TaskRecord
+from repro.profiling.models import RandomForestRegressor
+
+__all__ = ["ExecutionProfiler"]
+
+#: Feature vector layout: (input_mb, cores_per_node, cpu_freq_ghz, ram_gb).
+FEATURES = ("input_mb", "cores_per_node", "cpu_freq_ghz", "ram_gb")
+
+ModelFactory = Callable[[], object]
+
+
+class _FunctionModel:
+    """Time + output-size models for one function."""
+
+    def __init__(self, model_factory: ModelFactory) -> None:
+        self.time_model = model_factory()
+        self.output_model = model_factory()
+        self.samples: List[Tuple[Tuple[float, float, float, float], float, float]] = []
+        self.trained_on = 0
+
+    def add(self, features: Tuple[float, float, float, float], time_s: float, output_mb: float) -> None:
+        self.samples.append((features, time_s, output_mb))
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.samples)
+
+    def needs_training(self) -> bool:
+        return self.sample_count > self.trained_on
+
+    def train(self, max_samples: int = 512) -> None:
+        if not self.samples:
+            return
+        rows = self.samples[-max_samples:]
+        X = np.array([r[0] for r in rows], dtype=float)
+        times = np.array([r[1] for r in rows], dtype=float)
+        outputs = np.array([r[2] for r in rows], dtype=float)
+        self.time_model.fit(X, times)
+        self.output_model.fit(X, outputs)
+        self.trained_on = self.sample_count
+
+    def predict_time(self, features: Sequence[float]) -> Optional[float]:
+        if self.trained_on == 0:
+            if not self.samples:
+                return None
+            return float(np.mean([r[1] for r in self.samples]))
+        return float(max(0.0, self.time_model.predict([list(features)])[0]))
+
+    def predict_output(self, features: Sequence[float]) -> Optional[float]:
+        if self.trained_on == 0:
+            if not self.samples:
+                return None
+            return float(np.mean([r[2] for r in self.samples]))
+        return float(max(0.0, self.output_model.predict([list(features)])[0]))
+
+
+class ExecutionProfiler:
+    """Per-function execution-time and output-size predictor."""
+
+    def __init__(
+        self,
+        store: Optional[HistoryStore] = None,
+        *,
+        model_factory: Optional[ModelFactory] = None,
+        min_samples_to_train: int = 3,
+        max_training_samples: int = 512,
+    ) -> None:
+        if min_samples_to_train < 1:
+            raise ValueError("min_samples_to_train must be >= 1")
+        self._model_factory = model_factory or (
+            lambda: RandomForestRegressor(n_estimators=8, max_depth=6)
+        )
+        self._models: Dict[str, _FunctionModel] = defaultdict(
+            lambda: _FunctionModel(self._model_factory)
+        )
+        self.min_samples_to_train = min_samples_to_train
+        self.max_training_samples = max_training_samples
+        self.update_count = 0
+        if store is not None:
+            self.load_history(store)
+
+    # -------------------------------------------------------------- training
+    def load_history(self, store: HistoryStore) -> int:
+        """Warm-start the models from a history database."""
+        loaded = 0
+        for function_name in store.function_names():
+            for record in store.task_records(function_name=function_name):
+                self._observe_record(record)
+                loaded += 1
+        self.update_models(force=True)
+        return loaded
+
+    def observe(self, record: TaskExecutionRecord) -> None:
+        """Ingest a live execution record from the task monitor."""
+        if not record.success:
+            return
+        features = (
+            record.input_mb,
+            float(record.cores_per_node),
+            record.cpu_freq_ghz,
+            record.ram_gb,
+        )
+        self._models[record.function_name].add(
+            features, record.execution_time_s, record.output_mb
+        )
+
+    def _observe_record(self, record: TaskRecord) -> None:
+        features = (
+            record.input_mb,
+            float(record.cores_per_node),
+            record.cpu_freq_ghz,
+            record.ram_gb,
+        )
+        self._models[record.function_name].add(
+            features, record.execution_time_s, record.output_mb
+        )
+
+    def update_models(self, force: bool = False) -> int:
+        """(Re)train models that accumulated new observations.
+
+        Called periodically by the engine so training never blocks the
+        scheduling loop for long.  Returns the number of models retrained.
+        """
+        retrained = 0
+        for model in self._models.values():
+            if model.sample_count < self.min_samples_to_train:
+                continue
+            if force or model.needs_training():
+                model.train(self.max_training_samples)
+                retrained += 1
+        if retrained:
+            self.update_count += 1
+        return retrained
+
+    # ------------------------------------------------------------- prediction
+    def predict_execution_time(
+        self,
+        function_name: str,
+        input_mb: float,
+        hardware_features: Tuple[float, float, float],
+        default: Optional[float] = None,
+    ) -> Optional[float]:
+        """Predicted execution time (seconds) of ``function_name``.
+
+        ``hardware_features`` is ``(cores_per_node, cpu_freq_ghz, ram_gb)``
+        of the candidate endpoint.  Returns ``default`` when the function has
+        never been observed.
+        """
+        model = self._models.get(function_name)
+        if model is None:
+            return default
+        features = (input_mb, *hardware_features)
+        predicted = model.predict_time(features)
+        return default if predicted is None else predicted
+
+    def predict_output_mb(
+        self,
+        function_name: str,
+        input_mb: float,
+        hardware_features: Tuple[float, float, float],
+        default: float = 0.0,
+    ) -> float:
+        model = self._models.get(function_name)
+        if model is None:
+            return default
+        predicted = model.predict_output((input_mb, *hardware_features))
+        return default if predicted is None else predicted
+
+    def average_execution_time(self, function_name: str, default: float = 0.0) -> float:
+        """Mean observed execution time across all endpoints (DHA priorities)."""
+        model = self._models.get(function_name)
+        if model is None or not model.samples:
+            return default
+        return float(np.mean([s[1] for s in model.samples]))
+
+    def known_functions(self) -> List[str]:
+        return [name for name, model in self._models.items() if model.samples]
+
+    def sample_count(self, function_name: str) -> int:
+        model = self._models.get(function_name)
+        return model.sample_count if model else 0

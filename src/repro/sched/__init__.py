@@ -1,0 +1,51 @@
+"""Workflow schedulers (§IV-D).
+
+Three algorithms from the paper plus two reference baselines:
+
+==============  =========  ===========  ===========  =========
+Algorithm       Type       Dynamic DAG  Dynamic res  Knowledge
+==============  =========  ===========  ===========  =========
+Capacity        offline    no           no           none
+Locality        real-time  yes          yes          none
+DHA             hybrid     yes          yes          required
+HEFT (baseline) offline    no           no           required
+RoundRobin      real-time  yes          yes          none
+==============  =========  ===========  ===========  =========
+
+(Table I of the paper, extended with the baselines.)
+"""
+
+from repro.sched.base import Placement, Scheduler, SchedulingContext
+from repro.sched.capacity import CapacityScheduler
+from repro.sched.locality import LocalityScheduler
+from repro.sched.dha import DHAScheduler
+from repro.sched.heft import HEFTScheduler
+from repro.sched.roundrobin import RoundRobinScheduler
+
+__all__ = [
+    "CapacityScheduler",
+    "DHAScheduler",
+    "HEFTScheduler",
+    "LocalityScheduler",
+    "Placement",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SchedulingContext",
+    "create_scheduler",
+]
+
+_REGISTRY = {
+    "CAPACITY": CapacityScheduler,
+    "LOCALITY": LocalityScheduler,
+    "DHA": DHAScheduler,
+    "HEFT": HEFTScheduler,
+    "ROUND_ROBIN": RoundRobinScheduler,
+}
+
+
+def create_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by its configuration name (case-insensitive)."""
+    key = name.upper()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown scheduler {name!r}; expected one of {sorted(_REGISTRY)}")
+    return _REGISTRY[key](**kwargs)

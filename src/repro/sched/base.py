@@ -1,0 +1,205 @@
+"""Scheduler interface and shared scheduling context.
+
+The orchestration engine is scheduler-agnostic: every pump of its main loop
+it offers the scheduler the currently ready-but-unplaced tasks, asks whether
+staged tasks may be dispatched (DHA's delay mechanism hooks in here), and
+periodically offers the not-yet-dispatched tasks for re-scheduling.  The
+scheduler sees the system exclusively through :class:`SchedulingContext` —
+the endpoint monitor's mocked real-time view, the two profilers and the data
+manager — exactly the observe–predict–decide loop of the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import Config
+from repro.core.dag import Task, TaskGraph
+from repro.data.manager import DataManager
+from repro.faas.types import TaskExecutionRecord
+from repro.monitor.endpoint_monitor import EndpointMonitor
+from repro.profiling.execution import ExecutionProfiler
+from repro.profiling.transfer import TransferProfiler
+from repro.sim.kernel import Clock
+
+__all__ = ["Placement", "Scheduler", "SchedulingContext"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A scheduling decision: run ``task_id`` on ``endpoint``."""
+
+    task_id: str
+    endpoint: str
+    #: Estimated finish time used to make the decision (diagnostics only).
+    estimated_finish_s: float = 0.0
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a scheduler may consult when deciding placements."""
+
+    graph: TaskGraph
+    endpoint_monitor: EndpointMonitor
+    execution_profiler: ExecutionProfiler
+    transfer_profiler: TransferProfiler
+    data_manager: DataManager
+    config: Config
+    clock: Clock
+    #: Relative hardware speed per endpoint (used as a fallback ordering when
+    #: the execution profiler has no observations yet).
+    speed_factors: Dict[str, float]
+
+    # ------------------------------------------------------------ conveniences
+    def endpoint_names(self) -> List[str]:
+        return self.endpoint_monitor.endpoint_names()
+
+    def estimated_input_mb(self, task: Task) -> float:
+        """Best estimate of a task's input data volume.
+
+        Uses the actual input files when they are known (dependencies have
+        completed); otherwise falls back to the execution profiler's
+        predicted output sizes of the task's predecessors.
+        """
+        if task.input_files:
+            return task.input_size_mb
+        total = 0.0
+        for parent in self.graph.predecessors(task.task_id):
+            if parent.output_files:
+                total += sum(getattr(f, "size_mb", 0.0) for f in parent.output_files)
+            else:
+                hardware = (1.0, 1.0, 1.0)
+                total += self.execution_profiler.predict_output_mb(
+                    parent.name, parent.input_size_mb, hardware, default=0.0
+                )
+        return total
+
+    def predicted_execution_time(self, task: Task, endpoint: str, default: float = 1.0) -> float:
+        """Predicted execution time of ``task`` on ``endpoint`` (seconds)."""
+        mock = self.endpoint_monitor.mock(endpoint)
+        predicted = self.execution_profiler.predict_execution_time(
+            task.name,
+            self.estimated_input_mb(task),
+            mock.hardware_features(),
+            default=None,
+        )
+        if predicted is not None:
+            return predicted
+        # No observations yet: scale the default by relative hardware speed so
+        # heterogeneity-aware decisions remain sensible during warm-up.
+        speed = self.speed_factors.get(endpoint, 1.0)
+        return default / max(speed, 1e-9)
+
+    def predicted_staging_time(self, task: Task, endpoint: str) -> float:
+        """Predicted time to stage the task's missing inputs onto ``endpoint``."""
+        total = 0.0
+        for file in task.input_files:
+            if file.available_at(endpoint) or file.size_mb <= 0:
+                continue
+            source = file.primary_location
+            if source is None:
+                continue
+            total += self.transfer_profiler.predict_transfer_time(
+                source, endpoint, file.size_mb
+            )
+        if not task.input_files:
+            # Inputs not produced yet: approximate with the estimated volume
+            # moved from an arbitrary peer (average bandwidth).
+            size = self.estimated_input_mb(task)
+            if size > 0:
+                names = [n for n in self.endpoint_names() if n != endpoint]
+                if names:
+                    total = self.transfer_profiler.predict_transfer_time(names[0], endpoint, size)
+        return total
+
+    def average_execution_time(self, task: Task, default: float = 1.0) -> float:
+        """Mean predicted execution time across all endpoints (DHA's ``w_i``)."""
+        names = self.endpoint_names()
+        if not names:
+            return default
+        times = [self.predicted_execution_time(task, ep, default=default) for ep in names]
+        return float(sum(times) / len(times))
+
+    def average_staging_time(self, task: Task) -> float:
+        """Mean predicted staging time across all endpoints (DHA's ``d_i``)."""
+        names = self.endpoint_names()
+        if not names:
+            return 0.0
+        times = [self.predicted_staging_time(task, ep) for ep in names]
+        return float(sum(times) / len(times))
+
+
+class Scheduler(ABC):
+    """Base class for workflow schedulers."""
+
+    #: Human-readable algorithm name (used in logs and experiment tables).
+    name: str = "base"
+    #: Whether the engine should delay dispatch until the target endpoint has
+    #: idle capacity (True only for DHA's delay mechanism by default).
+    uses_delay_mechanism: bool = False
+    #: Whether the engine should periodically offer pending tasks back to the
+    #: scheduler for re-scheduling.
+    supports_rescheduling: bool = False
+
+    def __init__(self) -> None:
+        self.context: Optional[SchedulingContext] = None
+        #: Tasks assigned per endpoint that have not been dispatched yet
+        #: (claims against the mocked free capacity).
+        self._claims: Dict[str, int] = {}
+
+    # ----------------------------------------------------------------- setup
+    def initialize(self, context: SchedulingContext) -> None:
+        """Bind the scheduler to a workflow run."""
+        self.context = context
+        self._claims = {name: 0 for name in context.endpoint_names()}
+
+    def _require_context(self) -> SchedulingContext:
+        if self.context is None:
+            raise RuntimeError(f"{type(self).__name__} used before initialize()")
+        return self.context
+
+    # ------------------------------------------------------------- interface
+    def on_workflow_submitted(self, tasks: Sequence[Task]) -> None:
+        """Offline pass over the (currently known) DAG.  Optional."""
+
+    def on_tasks_added(self, tasks: Sequence[Task]) -> None:
+        """Called when a dynamic workflow grows during execution.  Optional."""
+
+    @abstractmethod
+    def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:
+        """Place (a subset of) the ready tasks onto endpoints."""
+
+    def should_dispatch(self, task: Task) -> bool:
+        """Gate dispatch of a staged task (delay mechanism hook)."""
+        return True
+
+    def reschedule(self, pending_tasks: Sequence[Task]) -> List[Placement]:
+        """Re-scheduling pass over not-yet-dispatched tasks.  Optional."""
+        return []
+
+    # ----------------------------------------------------------- notifications
+    def on_task_dispatched(self, task: Task, endpoint: str) -> None:
+        """Engine notification: the task left the client queue."""
+        if endpoint in self._claims and self._claims[endpoint] > 0:
+            self._claims[endpoint] -= 1
+
+    def on_task_completed(self, task: Task, record: TaskExecutionRecord) -> None:
+        """Engine notification: the task finished (successfully or not)."""
+
+    def on_capacity_changed(self) -> None:
+        """Engine notification: endpoint capacity changed (sync happened)."""
+
+    # --------------------------------------------------------------- helpers
+    def claim(self, endpoint: str, count: int = 1) -> None:
+        self._claims[endpoint] = self._claims.get(endpoint, 0) + count
+
+    def claimed(self, endpoint: str) -> int:
+        return self._claims.get(endpoint, 0)
+
+    def unclaimed_free_capacity(self, endpoint: str) -> int:
+        """Mocked free workers minus placements not yet dispatched."""
+        context = self._require_context()
+        free = context.endpoint_monitor.free_capacity(endpoint)
+        return max(0, free - self.claimed(endpoint))

@@ -1,0 +1,209 @@
+"""Dynamic heterogeneity-aware scheduling — DHA (§IV-D, Fig. 4).
+
+DHA is a hybrid between the offline Capacity scheduler and the real-time
+Locality scheduler:
+
+1. **Task prioritisation** — every task gets a priority computed recursively
+   (eq. 2)::
+
+       priority(t) = d(t) + w(t) + max_{s in succ(t)} priority(s)
+
+   where ``d`` is the average data-staging time over all endpoints and ``w``
+   the average execution time over all endpoints (both predicted by the
+   profilers).  This is the upward rank of HEFT, so predecessors are placed
+   before their successors and critical-path tasks come first.
+
+2. **Endpoint selection** — ready tasks are considered in priority order and
+   assigned to the endpoint with the earliest estimated finish time,
+   accounting for predicted staging time, predicted execution time on that
+   endpoint's hardware, and the backlog of work already heading there.
+
+3. **Delay mechanism** — data staging starts immediately on selection, but
+   the task is only dispatched once the target endpoint has idle workers, so
+   staged tasks wait in the client queue where they remain re-schedulable.
+
+4. **Re-scheduling** — periodically (and whenever resource capacity changes)
+   the pending tasks (scheduled/staging/staged, not yet dispatched) are
+   re-examined; tasks are stolen from backlogged endpoints and moved to
+   endpoints with idle capacity when that lowers their estimated finish time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dag import Task, TaskState
+from repro.sched.base import Placement, Scheduler, SchedulingContext
+
+__all__ = ["DHAScheduler"]
+
+
+class DHAScheduler(Scheduler):
+    """Priority-driven, heterogeneity-aware hybrid scheduler."""
+
+    name = "dha"
+    uses_delay_mechanism = True
+    supports_rescheduling = True
+
+    def __init__(
+        self,
+        *,
+        enable_delay_mechanism: bool = True,
+        enable_rescheduling: bool = True,
+        default_execution_time_s: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.uses_delay_mechanism = enable_delay_mechanism
+        self.supports_rescheduling = enable_rescheduling
+        self.default_execution_time_s = default_execution_time_s
+        self._priorities: Dict[str, float] = {}
+        #: Where each not-yet-dispatched task is currently headed.
+        self._pending_target: Dict[str, str] = {}
+        #: Number of placements moved by the re-scheduling mechanism.
+        self.rescheduled_count = 0
+
+    # ------------------------------------------------------------- priorities
+    def on_workflow_submitted(self, tasks: Sequence[Task]) -> None:
+        self._compute_priorities()
+
+    def on_tasks_added(self, tasks: Sequence[Task]) -> None:
+        # A dynamic DAG invalidates downstream priorities; recompute them all
+        # (linear in the graph size, §V-E measures the resulting overhead).
+        self._compute_priorities()
+
+    def _compute_priorities(self) -> None:
+        context = self._require_context()
+        graph = context.graph
+        order = graph.topological_order()
+        priorities: Dict[str, float] = {}
+        for task in reversed(order):
+            d = context.average_staging_time(task)
+            w = context.average_execution_time(task, default=self.default_execution_time_s)
+            succ = [priorities[s.task_id] for s in graph.successors(task.task_id)]
+            priorities[task.task_id] = d + w + (max(succ) if succ else 0.0)
+            task.priority = priorities[task.task_id]
+        self._priorities = priorities
+
+    def priority(self, task_id: str) -> float:
+        return self._priorities.get(task_id, 0.0)
+
+    # -------------------------------------------------------------- scheduling
+    def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:
+        context = self._require_context()
+        placements: List[Placement] = []
+        missing = [t for t in ready_tasks if t.task_id not in self._priorities]
+        if missing:
+            self._compute_priorities()
+        ordered = sorted(
+            ready_tasks, key=lambda t: (-self._priorities.get(t.task_id, 0.0), t.task_id)
+        )
+        for task in ordered:
+            endpoint, finish = self._select_endpoint(task)
+            if endpoint is None:
+                continue
+            self.claim(endpoint, 1)
+            self._pending_target[task.task_id] = endpoint
+            placements.append(
+                Placement(task_id=task.task_id, endpoint=endpoint, estimated_finish_s=finish)
+            )
+        return placements
+
+    def _select_endpoint(self, task: Task, exclude: Sequence[str] = ()) -> tuple[Optional[str], float]:
+        """Greedy earliest-estimated-finish-time selection."""
+        context = self._require_context()
+        best_endpoint: Optional[str] = None
+        best_finish = float("inf")
+        for endpoint in context.endpoint_names():
+            if endpoint in exclude:
+                continue
+            finish = self._estimated_finish(context, task, endpoint)
+            if finish < best_finish:
+                best_finish = finish
+                best_endpoint = endpoint
+        return best_endpoint, best_finish
+
+    def _estimated_finish(self, context: SchedulingContext, task: Task, endpoint: str) -> float:
+        mock = context.endpoint_monitor.mock(endpoint)
+        staging = context.predicted_staging_time(task, endpoint)
+        execution = context.predicted_execution_time(
+            task, endpoint, default=self.default_execution_time_s
+        )
+        workers = max(1, mock.active_workers)
+        idle = mock.idle_workers
+        backlog = mock.pending_tasks + self.claimed(endpoint) - idle
+        wait = max(0, backlog) * execution / workers
+        if idle <= 0:
+            # Every worker is busy: expect to wait about half a task's service
+            # time for one to free up before the backlog even starts draining.
+            wait += 0.5 * execution
+        return max(staging, wait) + execution
+
+    # --------------------------------------------------------- delay mechanism
+    def should_dispatch(self, task: Task) -> bool:
+        if not self.uses_delay_mechanism:
+            return True
+        context = self._require_context()
+        endpoint = task.assigned_endpoint
+        if endpoint is None:
+            return False
+        # Dispatch only when the (mocked) endpoint can start the task now.
+        return context.endpoint_monitor.free_capacity(endpoint) >= task.sim_profile.cores
+
+    def on_task_dispatched(self, task: Task, endpoint: str) -> None:
+        super().on_task_dispatched(task, endpoint)
+        self._pending_target.pop(task.task_id, None)
+
+    # ------------------------------------------------------------ rescheduling
+    def reschedule(self, pending_tasks: Sequence[Task]) -> List[Placement]:
+        """Move pending tasks toward endpoints with idle capacity (§IV-D).
+
+        Only tasks that have not been dispatched yet are offered by the
+        engine.  The delay mechanism is what makes this pool large enough to
+        be useful — staged tasks waiting in the client queue can still move.
+        """
+        if not self.supports_rescheduling or not pending_tasks:
+            return []
+        context = self._require_context()
+        moves: List[Placement] = []
+        # Spare capacity per endpoint beyond what is already heading there.
+        spare: Dict[str, int] = {
+            name: self.unclaimed_free_capacity(name) for name in context.endpoint_names()
+        }
+        if not any(count > 0 for count in spare.values()):
+            return []
+
+        ordered = sorted(
+            pending_tasks, key=lambda t: (-self._priorities.get(t.task_id, 0.0), t.task_id)
+        )
+        for task in ordered:
+            current = task.assigned_endpoint
+            if current is None:
+                continue
+            # Only steal tasks whose current endpoint cannot start them now.
+            if context.endpoint_monitor.free_capacity(current) >= task.sim_profile.cores:
+                continue
+            candidates = [name for name, free in spare.items() if free > 0 and name != current]
+            if not candidates:
+                break
+            current_finish = self._estimated_finish(context, task, current)
+            best = min(
+                candidates,
+                key=lambda name: self._estimated_finish(context, task, name),
+            )
+            best_finish = self._estimated_finish(context, task, best)
+            if best_finish >= current_finish:
+                continue
+            spare[best] -= 1
+            # Release the claim on the old endpoint and take one on the new.
+            if self.claimed(current) > 0:
+                self._claims[current] -= 1
+            self.claim(best, 1)
+            self._pending_target[task.task_id] = best
+            self.rescheduled_count += 1
+            moves.append(
+                Placement(task_id=task.task_id, endpoint=best, estimated_finish_s=best_finish)
+            )
+        return moves
+
+    def on_capacity_changed(self) -> None:
+        """Capacity changes are handled by the next re-scheduling pass."""

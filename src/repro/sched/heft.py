@@ -1,0 +1,120 @@
+"""HEFT baseline scheduler.
+
+The Heterogeneous Earliest Finish Time algorithm (Topcuoglu et al., 2002) is
+the classic static list scheduler the paper's DHA priorities are adapted
+from.  It is included as a reference baseline (and ablation target): it ranks
+tasks by upward rank and assigns each, in rank order, to the endpoint with
+the earliest finish time — but, unlike DHA, it does all of this offline, does
+not delay dispatch, and never re-schedules, so it cannot react to dynamic
+capacity.
+
+The classic formulation schedules onto individual processors; a funcX
+endpoint is a pool of workers, so the "processor availability" term is the
+endpoint's estimated ready time assuming its workers drain the backlog of
+already-assigned work evenly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.dag import Task
+from repro.sched.base import Placement, Scheduler
+
+__all__ = ["HEFTScheduler"]
+
+
+class HEFTScheduler(Scheduler):
+    """Static upward-rank / earliest-finish-time baseline."""
+
+    name = "heft"
+    uses_delay_mechanism = False
+    supports_rescheduling = False
+
+    def __init__(self, default_execution_time_s: float = 1.0) -> None:
+        super().__init__()
+        self.default_execution_time_s = default_execution_time_s
+        self._ranks: Dict[str, float] = {}
+        self._assignment: Dict[str, str] = {}
+        #: Estimated time at which each endpoint's workers become free.
+        self._endpoint_ready: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ offline pass
+    def on_workflow_submitted(self, tasks: Sequence[Task]) -> None:
+        self._plan()
+
+    def on_tasks_added(self, tasks: Sequence[Task]) -> None:
+        self._plan()
+
+    def _plan(self) -> None:
+        context = self._require_context()
+        graph = context.graph
+        order = graph.topological_order()
+
+        # Upward ranks (same recursion as DHA priorities).
+        ranks: Dict[str, float] = {}
+        for task in reversed(order):
+            w = context.average_execution_time(task, default=self.default_execution_time_s)
+            d = context.average_staging_time(task)
+            succ = [ranks[s.task_id] for s in graph.successors(task.task_id)]
+            ranks[task.task_id] = w + d + (max(succ) if succ else 0.0)
+        self._ranks = ranks
+
+        endpoints = context.endpoint_names()
+        if not endpoints:
+            return
+        workers = {
+            name: max(1, context.endpoint_monitor.active_workers(name)) for name in endpoints
+        }
+        ready = {name: 0.0 for name in endpoints}
+        finish_time: Dict[str, float] = {}
+
+        for task in sorted(order, key=lambda t: (-ranks[t.task_id], t.task_id)):
+            if task.task_id in self._assignment:
+                continue
+            best_endpoint = None
+            best_finish = float("inf")
+            preds = graph.predecessors(task.task_id)
+            for endpoint in endpoints:
+                execution = context.predicted_execution_time(
+                    task, endpoint, default=self.default_execution_time_s
+                )
+                staging = context.predicted_staging_time(task, endpoint)
+                pred_ready = max(
+                    (finish_time.get(p.task_id, 0.0) for p in preds), default=0.0
+                )
+                start = max(ready[endpoint], pred_ready + staging)
+                finish = start + execution
+                if finish < best_finish:
+                    best_finish = finish
+                    best_endpoint = endpoint
+            assert best_endpoint is not None
+            self._assignment[task.task_id] = best_endpoint
+            finish_time[task.task_id] = best_finish
+            # A pool of W workers absorbs a task's execution time at 1/W of a
+            # single processor's occupancy.
+            execution = context.predicted_execution_time(
+                task, best_endpoint, default=self.default_execution_time_s
+            )
+            ready[best_endpoint] += execution / workers[best_endpoint]
+        self._endpoint_ready = ready
+
+    # -------------------------------------------------------------- scheduling
+    def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:
+        placements: List[Placement] = []
+        missing = [t for t in ready_tasks if t.task_id not in self._assignment]
+        if missing:
+            self._plan()
+        for task in ready_tasks:
+            endpoint = self._assignment.get(task.task_id)
+            if endpoint is None:
+                continue
+            placements.append(Placement(task_id=task.task_id, endpoint=endpoint))
+        return placements
+
+    # ---------------------------------------------------------------- queries
+    def rank(self, task_id: str) -> float:
+        return self._ranks.get(task_id, 0.0)
+
+    def assignment(self) -> Dict[str, str]:
+        return dict(self._assignment)

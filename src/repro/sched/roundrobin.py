@@ -1,0 +1,41 @@
+"""Round-robin baseline scheduler.
+
+The simplest possible placement policy: ready tasks are dealt out to the
+configured endpoints in turn, ignoring capacity, locality and heterogeneity.
+It exists as a floor for the evaluation (any of the paper's algorithms should
+beat it on heterogeneous testbeds) and as a deterministic scheduler for
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.dag import Task
+from repro.sched.base import Placement, Scheduler
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deal tasks to endpoints in rotation."""
+
+    name = "round_robin"
+    uses_delay_mechanism = False
+    supports_rescheduling = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursor = 0
+
+    def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:
+        context = self._require_context()
+        endpoints = context.endpoint_names()
+        if not endpoints:
+            return []
+        placements: List[Placement] = []
+        for task in ready_tasks:
+            endpoint = endpoints[self._cursor % len(endpoints)]
+            self._cursor += 1
+            placements.append(Placement(task_id=task.task_id, endpoint=endpoint))
+        return placements

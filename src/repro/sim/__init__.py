@@ -1,0 +1,43 @@
+"""Simulation substrate for the UniFaaS reproduction.
+
+This subpackage provides the infrastructure the paper's testbed provided in
+hardware: a notion of time (:mod:`repro.sim.kernel`), heterogeneous cluster
+hardware (:mod:`repro.sim.hardware`), and a wide-area network connecting the
+clusters (:mod:`repro.sim.network`).  Experiments run on a discrete-event
+simulation clock so that hour-long federated workflows complete in seconds of
+wall-clock time while preserving the timing behaviour the schedulers react to.
+"""
+
+from repro.sim.kernel import Clock, EventHandle, SimClock, SimulationKernel, WallClock
+from repro.sim.hardware import (
+    ClusterSpec,
+    HardwareSpec,
+    DEPT_CLUSTER,
+    LAB_CLUSTER,
+    QIMING,
+    TAIYI,
+    WORKSTATION,
+    testbed_clusters,
+)
+from repro.sim.network import LinkSpec, NetworkModel, TransferEstimate
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Clock",
+    "ClusterSpec",
+    "EventHandle",
+    "HardwareSpec",
+    "LinkSpec",
+    "NetworkModel",
+    "RngRegistry",
+    "SimClock",
+    "SimulationKernel",
+    "TransferEstimate",
+    "WallClock",
+    "DEPT_CLUSTER",
+    "LAB_CLUSTER",
+    "QIMING",
+    "TAIYI",
+    "WORKSTATION",
+    "testbed_clusters",
+]

@@ -1,0 +1,299 @@
+"""Discrete-event simulation kernel and clock abstractions.
+
+The UniFaaS client, data manager, endpoints and transfer fabric are all
+time-driven.  On the paper's testbed time is supplied by the wall clock; in
+this reproduction the same components are driven by a discrete-event
+simulation (DES) kernel so that multi-hour federated workflows can be
+replayed in seconds.
+
+Two clock implementations are provided:
+
+* :class:`SimClock` — virtual time advanced by the :class:`SimulationKernel`.
+* :class:`WallClock` — real time, used by the local (thread-pool) execution
+  mode exercised in the examples.
+
+Components never call ``time.time()`` or ``sleep`` directly; they receive a
+:class:`Clock` and, when they need timed callbacks, a
+:class:`SimulationKernel`.
+
+Events may be marked as *daemon* events: recurring housekeeping (endpoint
+idle checks, profiler refreshes, metrics sampling) that should run while the
+simulation is alive but must not keep it alive on their own.  ``run()``
+without an explicit ``until`` stops once only daemon events remain.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Clock",
+    "EventHandle",
+    "SimClock",
+    "SimulationKernel",
+    "WallClock",
+    "PeriodicHandle",
+]
+
+
+class Clock:
+    """Abstract time source.
+
+    Sub-classes expose :meth:`now` returning seconds as a float.  The origin
+    is arbitrary (simulation start or process start); only differences are
+    meaningful.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real wall-clock time, measured from construction."""
+
+    def __init__(self) -> None:
+        self._t0 = _time.monotonic()
+
+    def now(self) -> float:
+        return _time.monotonic() - self._t0
+
+
+class SimClock(Clock):
+    """Virtual clock owned by a :class:`SimulationKernel`."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def _advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"cannot move simulation time backwards ({t} < {self._now})")
+        self._now = t
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    daemon: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+
+@dataclass
+class EventHandle:
+    """Handle returned by :meth:`SimulationKernel.schedule` for cancellation."""
+
+    _event: _ScheduledEvent
+    _kernel: "SimulationKernel"
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        if not self._event.cancelled and not self._event.fired:
+            self._event.cancelled = True
+            self._kernel._on_event_removed(self._event)
+
+
+@dataclass
+class PeriodicHandle:
+    """Handle for a periodic callback registered with the kernel."""
+
+    interval: float
+    callback: Callable[[], None]
+    active: bool = True
+    _next_handle: Optional[EventHandle] = None
+
+    def cancel(self) -> None:
+        self.active = False
+        if self._next_handle is not None:
+            self._next_handle.cancel()
+
+
+class SimulationKernel:
+    """Minimal but complete discrete-event simulation engine.
+
+    Events are ``(time, callback, args)`` triples kept in a binary heap.
+    Insertion order breaks ties so that the simulation is deterministic.
+
+    The kernel is intentionally free of any UniFaaS-specific knowledge: the
+    FaaS fabric, data manager and schedulers register callbacks on it, which
+    keeps every higher layer testable against a bare kernel.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._non_daemon_pending = 0
+
+    # ------------------------------------------------------------------ time
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of pending *non-daemon* events (the ones that drive work)."""
+        return self._non_daemon_pending
+
+    @property
+    def pending_events_total(self) -> int:
+        """All pending events, including daemon housekeeping."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # -------------------------------------------------------------- schedule
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        daemon: bool = False,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now() + delay, callback, *args, daemon=daemon, label=label)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        *args: Any,
+        daemon: bool = False,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time ``when``."""
+        if when < self.now():
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now()})")
+        event = _ScheduledEvent(
+            time=when,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+            daemon=daemon,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        if not daemon:
+            self._non_daemon_pending += 1
+        return EventHandle(event, self)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start_delay: float | None = None,
+        daemon: bool = False,
+    ) -> PeriodicHandle:
+        """Invoke ``callback()`` every ``interval`` seconds until cancelled."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        handle = PeriodicHandle(interval=interval, callback=callback)
+
+        def _tick() -> None:
+            if not handle.active:
+                return
+            callback()
+            if handle.active:
+                handle._next_handle = self.schedule(
+                    interval, _tick, daemon=daemon, label="periodic"
+                )
+
+        first = interval if start_delay is None else start_delay
+        handle._next_handle = self.schedule(first, _tick, daemon=daemon, label="periodic")
+        return handle
+
+    # ------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Process the next non-cancelled event.  Returns ``False`` if idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock._advance_to(event.time)
+            self._events_processed += 1
+            event.fired = True
+            self._on_event_removed(event)
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulation time to stop at (events at exactly ``until``
+            are processed, including daemon events).
+        stop_when:
+            Predicate checked after every event; the loop stops when it
+            returns ``True``.
+        max_events:
+            Safety limit on the number of events processed by this call.
+
+        Without ``until``, the loop stops when only daemon events remain —
+        otherwise recurring housekeeping would keep the simulation alive
+        forever.  Returns the simulation time at which the loop stopped.
+        """
+        if until is not None and until <= self.now():
+            return self.now()
+        processed = 0
+        while self._queue:
+            if stop_when is not None and stop_when():
+                break
+            if until is None and self._non_daemon_pending == 0:
+                break
+            nxt = self._peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.clock._advance_to(until)
+                break
+            if not self.step():
+                break
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and self.now() < until and not self._queue:
+            self.clock._advance_to(until)
+        return self.now()
+
+    # ------------------------------------------------------------- internal
+    def _on_event_removed(self, event: _ScheduledEvent) -> None:
+        if not event.daemon:
+            self._non_daemon_pending -= 1
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time

@@ -1,0 +1,300 @@
+"""Tests for Task and the dynamic task graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import Task, TaskGraph, TaskState
+from repro.core.exceptions import WorkflowError
+from repro.core.functions import SimProfile, function
+from repro.core.futures import UniFuture
+
+
+@function(sim_profile=SimProfile(base_time_s=5.0))
+def noop(*args, **kwargs):
+    return args
+
+
+def make_task(deps=(), **kwargs):
+    return Task(function=noop, dependencies=set(deps), **kwargs)
+
+
+def chain_graph(n):
+    """A linear chain t0 -> t1 -> ... -> t{n-1}."""
+    graph = TaskGraph()
+    prev = None
+    tasks = []
+    for _ in range(n):
+        task = make_task(deps=[prev.task_id] if prev else [])
+        graph.add_task(task)
+        tasks.append(task)
+        prev = task
+    return graph, tasks
+
+
+class TestTask:
+    def test_unique_ids(self):
+        assert make_task().task_id != make_task().task_id
+
+    def test_future_carries_task_id(self):
+        task = make_task()
+        assert task.future.task_id == task.task_id
+
+    def test_input_size_sums_file_sizes(self):
+        class F:
+            def __init__(self, size_mb):
+                self.size_mb = size_mb
+
+        task = make_task()
+        task.input_files = [F(10.0), F(2.5)]
+        assert task.input_size_mb == pytest.approx(12.5)
+
+    def test_resolved_args_substitutes_futures(self):
+        graph = TaskGraph()
+        producer = make_task()
+        graph.add_task(producer)
+        producer.future.set_result(99)
+        graph.mark_completed(producer.task_id)
+
+        consumer = make_task(deps=[producer.task_id])
+        consumer.args = (producer.future, 1)
+        consumer.kwargs = {"x": producer.future}
+        graph.add_task(consumer)
+        args, kwargs = consumer.resolved_args(graph)
+        assert args == (99, 1)
+        assert kwargs == {"x": 99}
+
+    def test_resolved_args_unresolved_future_raises(self):
+        graph = TaskGraph()
+        producer = make_task()
+        graph.add_task(producer)
+        consumer = make_task(deps=[producer.task_id])
+        consumer.args = (producer.future,)
+        graph.add_task(consumer)
+        with pytest.raises(WorkflowError):
+            consumer.resolved_args(graph)
+
+
+class TestGraphConstruction:
+    def test_add_task_without_deps_is_ready(self):
+        graph = TaskGraph()
+        task = graph.add_task(make_task())
+        assert task.state == TaskState.READY
+        assert graph.ready_tasks() == [task]
+
+    def test_add_task_with_pending_deps(self):
+        graph, tasks = chain_graph(2)
+        assert tasks[0].state == TaskState.READY
+        assert tasks[1].state == TaskState.PENDING
+
+    def test_duplicate_id_rejected(self):
+        graph = TaskGraph()
+        task = make_task()
+        graph.add_task(task)
+        dup = make_task()
+        dup.task_id = task.task_id
+        with pytest.raises(WorkflowError):
+            graph.add_task(dup)
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(WorkflowError):
+            graph.add_task(make_task(deps=["missing"]))
+
+    def test_get_unknown_task_raises(self):
+        with pytest.raises(WorkflowError):
+            TaskGraph().get("nope")
+
+    def test_contains_and_len(self):
+        graph = TaskGraph()
+        task = graph.add_task(make_task())
+        assert task.task_id in graph
+        assert len(graph) == 1
+
+    def test_dependency_on_completed_task_is_ready(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task())
+        graph.mark_completed(a.task_id)
+        b = graph.add_task(make_task(deps=[a.task_id]))
+        assert b.state == TaskState.READY
+
+
+class TestCompletion:
+    def test_mark_completed_releases_successors(self):
+        graph, tasks = chain_graph(3)
+        newly = graph.mark_completed(tasks[0].task_id, now=1.0)
+        assert newly == [tasks[1]]
+        assert tasks[1].state == TaskState.READY
+        assert tasks[2].state == TaskState.PENDING
+
+    def test_join_waits_for_all_predecessors(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task())
+        b = graph.add_task(make_task())
+        join = graph.add_task(make_task(deps=[a.task_id, b.task_id]))
+        assert graph.mark_completed(a.task_id) == []
+        assert join.state == TaskState.PENDING
+        assert graph.mark_completed(b.task_id) == [join]
+
+    def test_mark_completed_idempotent(self):
+        graph, tasks = chain_graph(2)
+        graph.mark_completed(tasks[0].task_id)
+        assert graph.mark_completed(tasks[0].task_id) == []
+        assert graph.state_count(TaskState.COMPLETED) == 1
+
+    def test_is_complete(self):
+        graph, tasks = chain_graph(2)
+        assert not graph.is_complete()
+        graph.mark_completed(tasks[0].task_id)
+        graph.mark_completed(tasks[1].task_id)
+        assert graph.is_complete()
+        assert graph.unfinished_count() == 0
+
+    def test_empty_graph_is_not_complete(self):
+        assert not TaskGraph().is_complete()
+
+    def test_failed_task_counts_as_terminal(self):
+        graph, tasks = chain_graph(1)
+        graph.set_state(tasks[0].task_id, TaskState.FAILED, now=2.0)
+        assert graph.is_complete()
+        assert tasks[0].timestamps.completed == 2.0
+
+
+class TestStateTracking:
+    def test_set_state_updates_counts_and_timestamps(self):
+        graph, tasks = chain_graph(1)
+        t = tasks[0]
+        graph.set_state(t.task_id, TaskState.SCHEDULED, now=1.0)
+        graph.set_state(t.task_id, TaskState.STAGING, now=2.0)
+        graph.set_state(t.task_id, TaskState.STAGED, now=5.0)
+        graph.set_state(t.task_id, TaskState.DISPATCHED, now=6.0)
+        graph.set_state(t.task_id, TaskState.RUNNING, now=7.0)
+        graph.set_state(t.task_id, TaskState.COMPLETED, now=10.0)
+        ts = t.timestamps
+        assert ts.scheduled == 1.0
+        assert ts.staging_time == pytest.approx(3.0)
+        assert ts.queue_time == pytest.approx(1.0)
+        assert ts.execution_time == pytest.approx(3.0)
+        assert graph.counts() == {"completed": 1}
+
+    def test_counts_only_nonzero_states(self):
+        graph, _ = chain_graph(3)
+        assert graph.counts() == {"ready": 1, "pending": 2}
+
+
+class TestDependencies:
+    def test_add_dependency_demotes_ready_task(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task())
+        b = graph.add_task(make_task())
+        graph.add_dependency(a.task_id, b.task_id)
+        assert b.state == TaskState.PENDING
+        graph.mark_completed(a.task_id)
+        assert b.state == TaskState.READY
+
+    def test_self_dependency_rejected(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task())
+        with pytest.raises(WorkflowError):
+            graph.add_dependency(a.task_id, a.task_id)
+
+    def test_cycle_rejected(self):
+        graph, tasks = chain_graph(3)
+        with pytest.raises(WorkflowError):
+            graph.add_dependency(tasks[2].task_id, tasks[0].task_id)
+
+    def test_dependency_on_completed_upstream_keeps_ready(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task())
+        graph.mark_completed(a.task_id)
+        b = graph.add_task(make_task())
+        graph.add_dependency(a.task_id, b.task_id)
+        assert b.state == TaskState.READY
+
+
+class TestAnalysis:
+    def test_roots_and_leaves(self):
+        graph, tasks = chain_graph(3)
+        assert graph.roots() == [tasks[0]]
+        assert graph.leaves() == [tasks[2]]
+
+    def test_topological_order_respects_dependencies(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task())
+        b = graph.add_task(make_task(deps=[a.task_id]))
+        c = graph.add_task(make_task(deps=[a.task_id]))
+        d = graph.add_task(make_task(deps=[b.task_id, c.task_id]))
+        order = [t.task_id for t in graph.topological_order()]
+        assert order.index(a.task_id) < order.index(b.task_id)
+        assert order.index(a.task_id) < order.index(c.task_id)
+        assert order.index(d.task_id) == 3
+
+    def test_dfs_order_is_topological_and_complete(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task())
+        b = graph.add_task(make_task(deps=[a.task_id]))
+        c = graph.add_task(make_task(deps=[a.task_id]))
+        d = graph.add_task(make_task(deps=[b.task_id]))
+        order = graph.dfs_order()
+        ids = [t.task_id for t in order]
+        assert set(ids) == set(graph.task_ids())
+        positions = {tid: i for i, tid in enumerate(ids)}
+        for task in graph:
+            for dep in task.dependencies:
+                assert positions[dep] < positions[task.task_id]
+        # DFS keeps the a->b->d path contiguous before visiting c.
+        assert ids.index(d.task_id) < ids.index(c.task_id)
+
+    def test_critical_path_length_unit_weights(self):
+        graph, _ = chain_graph(4)
+        assert graph.critical_path_length() == 4.0
+
+    def test_critical_path_length_custom_weights(self):
+        graph = TaskGraph()
+        a = graph.add_task(make_task())
+        b = graph.add_task(make_task(deps=[a.task_id]))
+        c = graph.add_task(make_task(deps=[a.task_id]))
+        weights = {a.task_id: 1.0, b.task_id: 10.0, c.task_id: 2.0}
+        assert graph.critical_path_length(lambda t: weights[t.task_id]) == 11.0
+
+    def test_successors_predecessors(self):
+        graph, tasks = chain_graph(3)
+        assert graph.successors(tasks[0].task_id) == [tasks[1]]
+        assert graph.predecessors(tasks[1].task_id) == [tasks[0]]
+
+
+class TestGraphProperties:
+    @given(st.integers(min_value=1, max_value=40), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_dag_completion_releases_everything(self, n, data):
+        """Completing tasks in topological order eventually readies every task."""
+        graph = TaskGraph()
+        created = []
+        for i in range(n):
+            if created:
+                k = data.draw(st.integers(min_value=0, max_value=min(3, len(created))))
+                deps = data.draw(
+                    st.lists(
+                        st.sampled_from([t.task_id for t in created]),
+                        min_size=k,
+                        max_size=k,
+                        unique=True,
+                    )
+                )
+            else:
+                deps = []
+            created.append(graph.add_task(make_task(deps=deps)))
+
+        # Invariant: counts always sum to the number of tasks.
+        assert sum(graph.state_count(s) for s in TaskState) == n
+
+        for task in graph.topological_order():
+            graph.mark_completed(task.task_id)
+        assert graph.is_complete()
+        assert graph.state_count(TaskState.COMPLETED) == n
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_chain_critical_path_equals_length(self, n):
+        graph, _ = chain_graph(n)
+        assert graph.critical_path_length() == float(n)

@@ -1,0 +1,173 @@
+"""Tests for the data manager."""
+
+import pytest
+
+from repro.data.manager import DataManager
+from repro.data.remote_file import GlobusFile
+from repro.data.transfer import SimulatedTransferBackend
+from repro.sim.kernel import SimulationKernel
+from repro.sim.network import NetworkModel
+
+
+def build_manager(
+    endpoints=("a", "b", "c"),
+    bandwidth=100.0,
+    failure_rate=0.0,
+    max_concurrent=4,
+    max_retries=3,
+    seed=0,
+):
+    kernel = SimulationKernel()
+    net = NetworkModel.uniform(
+        endpoints, bandwidth_mbps=bandwidth, jitter=0.0, failure_rate=failure_rate, seed=seed
+    )
+    backend = SimulatedTransferBackend(kernel, net)
+    manager = DataManager(
+        backend,
+        kernel.clock,
+        max_concurrent_transfers=max_concurrent,
+        max_retries=max_retries,
+    )
+    return kernel, net, manager
+
+
+def file_at(name, size_mb, endpoint):
+    return GlobusFile(name, size_mb=size_mb, location=endpoint)
+
+
+class TestQueries:
+    def test_missing_files_and_bytes_to_move(self):
+        _, _, manager = build_manager()
+        files = [file_at("x", 10.0, "a"), file_at("y", 5.0, "b"), file_at("z", 0.0, "a")]
+        missing = manager.missing_files(files, "b")
+        assert [f.name for f in missing] == ["x"]
+        assert manager.bytes_to_move_mb(files, "b") == pytest.approx(10.0)
+        assert manager.bytes_to_move_mb(files, "a") == pytest.approx(5.0)
+
+    def test_zero_size_files_never_staged(self):
+        _, _, manager = build_manager()
+        files = [file_at("meta", 0.0, "a")]
+        assert manager.bytes_to_move_mb(files, "b") == 0.0
+
+
+class TestStaging:
+    def test_stage_with_nothing_missing_completes_immediately(self):
+        _, _, manager = build_manager()
+        staged = []
+        manager.add_staged_callback(staged.append)
+        ticket = manager.stage("t1", [file_at("x", 10.0, "b")], "b")
+        assert ticket.done
+        assert not ticket.failed
+        assert staged == [ticket]
+        assert manager.total_transferred_mb == 0.0
+
+    def test_stage_moves_missing_files(self):
+        kernel, _, manager = build_manager()
+        staged = []
+        manager.add_staged_callback(staged.append)
+        files = [file_at("x", 90.0, "a"), file_at("y", 45.0, "b")]
+        ticket = manager.stage("t1", files, "b")
+        assert not ticket.done
+        assert manager.active_staging_tasks() == 1
+        kernel.run()
+        assert ticket.done and not ticket.failed
+        assert staged == [ticket]
+        assert files[0].available_at("b")
+        assert manager.total_transferred_mb == pytest.approx(90.0)
+        assert manager.volume_by_pair_mb[("a", "b")] == pytest.approx(90.0)
+        assert manager.active_staging_tasks() == 0
+        assert ticket.staging_time_s > 0
+
+    def test_ticket_lookup_by_task(self):
+        kernel, _, manager = build_manager()
+        ticket = manager.stage("t42", [file_at("x", 10.0, "a")], "b")
+        assert manager.ticket_for_task("t42") is ticket
+        assert manager.ticket_for_task("unknown") is None
+        kernel.run()
+
+    def test_multiple_tasks_counted_in_active_staging(self):
+        kernel, _, manager = build_manager()
+        manager.stage("t1", [file_at("x", 500.0, "a")], "b")
+        manager.stage("t2", [file_at("y", 500.0, "a")], "c")
+        assert manager.active_staging_tasks() == 2
+        kernel.run()
+        assert manager.active_staging_tasks() == 0
+
+    def test_source_selection_prefers_cheapest_replica(self):
+        kernel, net, manager = build_manager(bandwidth=10.0)
+        # Make the c->b link much faster than a->b.
+        from repro.sim.network import LinkSpec
+
+        net.set_link("c", "b", LinkSpec(bandwidth_mbps=1000.0, jitter=0.0))
+        file = file_at("x", 100.0, "a")
+        file.add_location("c")
+        manager.stage("t1", [file], "b")
+        kernel.run()
+        assert manager.volume_by_pair_mb[("c", "b")] == pytest.approx(100.0)
+        assert manager.volume_by_pair_mb[("a", "b")] == 0.0
+
+    def test_stage_unplaced_file_raises(self):
+        _, _, manager = build_manager()
+        with pytest.raises(ValueError):
+            manager.stage("t1", [GlobusFile("ghost", size_mb=5.0)], "b")
+
+    def test_register_output(self):
+        _, _, manager = build_manager()
+        f = GlobusFile("out", size_mb=3.0)
+        manager.register_output(f, "b")
+        assert f.available_at("b")
+
+
+class TestConcurrencyLimit:
+    def test_transfers_respect_concurrency_limit(self):
+        kernel, net, manager = build_manager(max_concurrent=2)
+        files = [file_at(f"f{i}", 450.0, "a") for i in range(4)]
+        manager.stage("t1", files, "b")
+        # Only two transfers may be in flight on the a->b pair.
+        assert net.active_transfers("a", "b") == 2
+        kernel.run()
+        assert manager.total_transferred_mb == pytest.approx(4 * 450.0)
+
+    def test_pairs_have_independent_limits(self):
+        kernel, net, manager = build_manager(max_concurrent=1)
+        manager.stage("t1", [file_at("x", 450.0, "a")], "b")
+        manager.stage("t2", [file_at("y", 450.0, "c")], "b")
+        assert net.active_transfers("a", "b") == 1
+        assert net.active_transfers("c", "b") == 1
+        kernel.run()
+
+
+class TestRetries:
+    def test_failed_transfers_retried_until_success(self):
+        # failure_rate=0.5 with three retries succeeds with high probability.
+        kernel, _, manager = build_manager(failure_rate=0.5, max_retries=10, seed=3)
+        staged = []
+        manager.add_staged_callback(staged.append)
+        ticket = manager.stage("t1", [file_at("x", 10.0, "a")], "b")
+        kernel.run()
+        assert ticket.done and not ticket.failed
+        assert manager.retry_count >= 1
+        assert manager.failed_transfer_count >= 1
+
+    def test_ticket_fails_after_exhausting_retries(self):
+        kernel, _, manager = build_manager(failure_rate=1.0, max_retries=2)
+        staged = []
+        manager.add_staged_callback(staged.append)
+        ticket = manager.stage("t1", [file_at("x", 10.0, "a")], "b")
+        kernel.run()
+        assert ticket.failed
+        assert staged == [ticket]
+        # 1 initial attempt + 2 retries.
+        assert manager.transfer_count == 3
+        assert manager.total_transferred_mb == 0.0
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        kernel = SimulationKernel()
+        net = NetworkModel.uniform(["a", "b"])
+        backend = SimulatedTransferBackend(kernel, net)
+        with pytest.raises(ValueError):
+            DataManager(backend, kernel.clock, max_concurrent_transfers=0)
+        with pytest.raises(ValueError):
+            DataManager(backend, kernel.clock, max_retries=-1)

@@ -1,0 +1,74 @@
+"""Tests for the multi-endpoint scaling strategies."""
+
+import pytest
+
+from repro.elastic.scaling import (
+    DefaultScalingStrategy,
+    EndpointView,
+    NoScalingStrategy,
+    ScalingDecision,
+)
+
+
+def view(name, active=0, idle=0, outstanding=0, max_workers=100):
+    return EndpointView(
+        name=name,
+        active_workers=active,
+        idle_workers=idle,
+        outstanding_tasks=outstanding,
+        max_workers=max_workers,
+    )
+
+
+class TestDefaultStrategy:
+    def test_no_scale_out_when_workers_cover_pending(self):
+        strategy = DefaultScalingStrategy()
+        decision = strategy.decide(5, {"a": view("a", active=10)})
+        assert decision.workers_to_request == {}
+        assert decision.total() == 0
+
+    def test_scale_out_all_endpoints_when_pending_exceeds_workers(self):
+        # §IV-H: more pending tasks than workers -> scale out on all endpoints.
+        strategy = DefaultScalingStrategy()
+        decision = strategy.decide(
+            50,
+            {
+                "a": view("a", active=10, max_workers=100),
+                "b": view("b", active=5, max_workers=20),
+            },
+        )
+        assert set(decision.workers_to_request) == {"a", "b"}
+        assert decision.workers_to_request["a"] == 35  # shortfall bounded by headroom
+        assert decision.workers_to_request["b"] == 15
+
+    def test_caps_limit_requests(self):
+        strategy = DefaultScalingStrategy(caps={"a": 12})
+        decision = strategy.decide(100, {"a": view("a", active=10, max_workers=1000)})
+        assert decision.workers_to_request["a"] == 2
+
+    def test_no_request_when_everything_at_cap(self):
+        strategy = DefaultScalingStrategy()
+        decision = strategy.decide(100, {"a": view("a", active=20, max_workers=20)})
+        assert decision.workers_to_request == {}
+
+    def test_endpoint_at_cap_excluded_but_others_scale(self):
+        strategy = DefaultScalingStrategy()
+        decision = strategy.decide(
+            30,
+            {
+                "full": view("full", active=10, max_workers=10),
+                "roomy": view("roomy", active=0, max_workers=50),
+            },
+        )
+        assert "full" not in decision.workers_to_request
+        assert decision.workers_to_request["roomy"] == 20
+
+
+class TestNoScaling:
+    def test_never_scales(self):
+        assert NoScalingStrategy().decide(1000, {"a": view("a")}).total() == 0
+
+
+class TestScalingDecision:
+    def test_none_factory(self):
+        assert ScalingDecision.none().total() == 0

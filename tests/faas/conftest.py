@@ -1,0 +1,63 @@
+"""Shared fixtures for FaaS-fabric tests."""
+
+import numpy as np
+import pytest
+
+from repro.faas.endpoint import SimulatedEndpoint
+from repro.faas.service import FederatedFaaSService
+from repro.faas.types import ServiceLatencyModel, TaskExecutionRequest
+from repro.sim.hardware import ClusterSpec, HardwareSpec
+from repro.sim.kernel import SimulationKernel
+
+
+def small_cluster(name="cluster", workers_per_node=4, num_nodes=4, speed=1.0, queue_delay=0.0):
+    return ClusterSpec(
+        name=name,
+        hardware=HardwareSpec(
+            cores_per_node=workers_per_node, cpu_freq_ghz=2.5, ram_gb=64, speed_factor=speed
+        ),
+        num_nodes=num_nodes,
+        workers_per_node=workers_per_node,
+        queue_delay_mean_s=queue_delay,
+        queue_delay_std_s=0.0,
+    )
+
+
+def make_request(task_id="t1", duration=10.0, input_mb=0.0, output_mb=0.0, cores=1):
+    return TaskExecutionRequest(
+        task_id=task_id,
+        function_name="work",
+        cores=cores,
+        input_mb=input_mb,
+        sim_duration_s=duration,
+        sim_output_mb=output_mb,
+    )
+
+
+@pytest.fixture
+def kernel():
+    return SimulationKernel()
+
+
+@pytest.fixture
+def endpoint(kernel):
+    return SimulatedEndpoint(
+        "ep1",
+        small_cluster(),
+        kernel,
+        rng=np.random.default_rng(0),
+        initial_workers=4,
+        auto_scale=False,
+    )
+
+
+@pytest.fixture
+def zero_latency_service(kernel):
+    latency = ServiceLatencyModel(
+        submit_latency_s=0.0,
+        dispatch_latency_s=0.0,
+        result_poll_latency_s=0.0,
+        endpoint_overhead_s=0.0,
+        status_refresh_interval_s=60.0,
+    )
+    return FederatedFaaSService(kernel, latency=latency)

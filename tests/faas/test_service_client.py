@@ -1,0 +1,211 @@
+"""Tests for the federated FaaS service facade and the FaaS client."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import EndpointError
+from repro.faas.client import FaaSClient
+from repro.faas.endpoint import SimulatedEndpoint
+from repro.faas.service import FederatedFaaSService
+from repro.faas.types import ServiceLatencyModel
+from repro.sim.kernel import SimulationKernel
+
+from tests.faas.conftest import make_request, small_cluster
+
+
+def make_service(kernel, **latency_kwargs):
+    defaults = dict(
+        submit_latency_s=0.004,
+        dispatch_latency_s=0.1,
+        result_poll_latency_s=0.05,
+        endpoint_overhead_s=0.0,
+        status_refresh_interval_s=60.0,
+    )
+    defaults.update(latency_kwargs)
+    return FederatedFaaSService(kernel, latency=ServiceLatencyModel(**defaults))
+
+
+def add_endpoint(service, kernel, name="ep1", workers=4):
+    ep = SimulatedEndpoint(
+        name,
+        small_cluster(name=name),
+        kernel,
+        rng=np.random.default_rng(0),
+        initial_workers=workers,
+        auto_scale=False,
+    )
+    uuid = service.register_endpoint(ep)
+    return ep, uuid
+
+
+class TestRegistration:
+    def test_register_returns_uuid(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        ep, uuid = add_endpoint(service, kernel)
+        assert uuid == service.endpoint_uuid("ep1")
+        assert service.endpoint("ep1") is ep
+        assert service.endpoint_names() == ["ep1"]
+
+    def test_duplicate_registration_rejected(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        add_endpoint(service, kernel)
+        with pytest.raises(EndpointError):
+            add_endpoint(service, kernel)
+
+    def test_unknown_endpoint_rejected(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        with pytest.raises(EndpointError):
+            service.endpoint("missing")
+
+
+class TestSubmissionPath:
+    def test_dispatch_latency_delays_execution_start(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel, submit_latency_s=0.004, dispatch_latency_s=0.174)
+        add_endpoint(service, kernel)
+        service.submit("ep1", make_request(duration=1.0))
+        kernel.run()
+        results = service.fetch_results()
+        assert len(results) == 1
+        assert results[0].started_at == pytest.approx(0.178)
+        # submitted_at records the client-side submission time.
+        assert results[0].submitted_at == 0.0
+
+    def test_result_visible_after_poll_latency(self):
+        kernel = SimulationKernel()
+        service = make_service(
+            kernel, submit_latency_s=0.0, dispatch_latency_s=0.0, result_poll_latency_s=0.117
+        )
+        add_endpoint(service, kernel)
+        delivered = []
+        service.add_result_callback(delivered.append)
+        service.submit("ep1", make_request(duration=1.0))
+        kernel.run(until=1.05)
+        assert delivered == []  # completed but not yet visible
+        kernel.run()
+        assert len(delivered) == 1
+        assert kernel.now() == pytest.approx(1.117)
+
+    def test_batch_submission_delivers_all(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        add_endpoint(service, kernel, workers=8)
+        service.submit_batch("ep1", [make_request(task_id=f"t{i}", duration=1.0) for i in range(5)])
+        kernel.run()
+        assert len(service.fetch_results()) == 5
+        assert service.submitted_count == 5
+
+    def test_fetch_results_max_items(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        add_endpoint(service, kernel, workers=8)
+        for i in range(4):
+            service.submit("ep1", make_request(task_id=f"t{i}", duration=1.0))
+        kernel.run()
+        first = service.fetch_results(max_items=3)
+        rest = service.fetch_results()
+        assert len(first) == 3
+        assert len(rest) == 1
+
+
+class TestStatusStaleness:
+    def test_status_is_cached_until_refresh_interval(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel, status_refresh_interval_s=60.0)
+        ep, _ = add_endpoint(service, kernel, workers=4)
+        initial = service.endpoint_status("ep1")
+        assert initial.busy_workers == 0
+
+        service.submit("ep1", make_request(duration=1000.0))
+        kernel.run(until=10.0)
+        # The genuine endpoint is busy but the service still serves the stale snapshot.
+        assert ep.busy_workers == 1
+        stale = service.endpoint_status("ep1")
+        assert stale.busy_workers == 0
+
+        kernel.run(until=70.0)
+        fresh = service.endpoint_status("ep1")
+        assert fresh.busy_workers == 1
+
+    def test_force_refresh_bypasses_cache(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel, status_refresh_interval_s=1e6)
+        ep, _ = add_endpoint(service, kernel, workers=4)
+        service.submit("ep1", make_request(duration=1000.0))
+        kernel.run(until=10.0)
+        assert service.endpoint_status("ep1").busy_workers == 0
+        assert service.endpoint_status("ep1", force_refresh=True).busy_workers == 1
+
+    def test_all_statuses(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        add_endpoint(service, kernel, name="a")
+        add_endpoint(service, kernel, name="b")
+        statuses = service.all_statuses()
+        assert set(statuses) == {"a", "b"}
+
+
+class TestFaaSClient:
+    def test_batching_reduces_submit_calls(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        add_endpoint(service, kernel, workers=16)
+        client = FaaSClient(service, batch_size=4)
+        for i in range(8):
+            client.submit("ep1", make_request(task_id=f"t{i}", duration=1.0))
+        assert client.submit_calls == 2
+        assert client.queued_requests == 0
+        kernel.run()
+        assert len(client.poll_results()) == 8
+
+    def test_flush_sends_partial_batches(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        add_endpoint(service, kernel)
+        client = FaaSClient(service, batch_size=100)
+        client.submit("ep1", make_request(duration=1.0))
+        assert client.queued_requests == 1
+        client.flush()
+        assert client.queued_requests == 0
+        kernel.run()
+        assert len(client.poll_results()) == 1
+
+    def test_batches_kept_per_endpoint(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        add_endpoint(service, kernel, name="a")
+        add_endpoint(service, kernel, name="b")
+        client = FaaSClient(service, batch_size=2)
+        client.submit("a", make_request(task_id="t1", duration=1.0))
+        client.submit("b", make_request(task_id="t2", duration=1.0))
+        assert client.queued_requests == 2
+        client.submit("a", make_request(task_id="t3", duration=1.0))
+        assert client.queued_requests == 1  # endpoint a flushed
+
+    def test_invalid_batch_size(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        with pytest.raises(ValueError):
+            FaaSClient(service, batch_size=0)
+
+    def test_status_passthrough(self):
+        kernel = SimulationKernel()
+        service = make_service(kernel)
+        add_endpoint(service, kernel)
+        client = FaaSClient(service)
+        assert client.endpoint_names() == ["ep1"]
+        assert client.endpoint_status("ep1").endpoint == "ep1"
+        assert set(client.all_statuses()) == {"ep1"}
+
+
+class TestLatencyModelValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceLatencyModel(submit_latency_s=-0.1)
+
+    def test_nonpositive_refresh_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceLatencyModel(status_refresh_interval_s=0.0)

@@ -1,0 +1,77 @@
+"""Shared fixtures for end-to-end engine tests."""
+
+import pytest
+
+from repro.core.functions import set_current_client
+from repro.experiments.environment import EndpointSetup, build_simulation
+from repro.faas.types import ServiceLatencyModel
+from repro.sim.hardware import ClusterSpec, HardwareSpec
+from repro.sim.network import NetworkModel
+
+
+def small_cluster(name, workers_per_node=8, num_nodes=4, speed=1.0, queue_delay=0.0):
+    return ClusterSpec(
+        name=name,
+        hardware=HardwareSpec(
+            cores_per_node=workers_per_node,
+            cpu_freq_ghz=2.5,
+            ram_gb=64,
+            speed_factor=speed,
+        ),
+        num_nodes=num_nodes,
+        workers_per_node=workers_per_node,
+        queue_delay_mean_s=queue_delay,
+        queue_delay_std_s=0.0,
+    )
+
+
+def fast_latency():
+    return ServiceLatencyModel(
+        submit_latency_s=0.001,
+        dispatch_latency_s=0.01,
+        result_poll_latency_s=0.01,
+        endpoint_overhead_s=0.0,
+        status_refresh_interval_s=60.0,
+    )
+
+
+def build_two_site_env(
+    workers_a=8,
+    workers_b=8,
+    speed_a=1.0,
+    speed_b=1.0,
+    bandwidth=100.0,
+    auto_scale=False,
+    failure_rate_a=0.0,
+    seed=0,
+):
+    setups = [
+        EndpointSetup(
+            name="site_a",
+            cluster=small_cluster("site_a", speed=speed_a),
+            initial_workers=workers_a,
+            auto_scale=auto_scale,
+            duration_jitter=0.0,
+            execution_overhead_s=0.0,
+            failure_rate=failure_rate_a,
+        ),
+        EndpointSetup(
+            name="site_b",
+            cluster=small_cluster("site_b", speed=speed_b),
+            initial_workers=workers_b,
+            auto_scale=auto_scale,
+            duration_jitter=0.0,
+            execution_overhead_s=0.0,
+        ),
+    ]
+    network = NetworkModel.uniform(
+        ["site_a", "site_b"], bandwidth_mbps=bandwidth, jitter=0.0, seed=seed
+    )
+    return build_simulation(setups, network=network, latency=fast_latency(), seed=seed)
+
+
+@pytest.fixture(autouse=True)
+def clean_client_context():
+    set_current_client(None)
+    yield
+    set_current_client(None)

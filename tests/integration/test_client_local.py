@@ -1,0 +1,110 @@
+"""End-to-end tests of the engine in local (real execution) mode."""
+
+import pytest
+
+from repro.core.client import UniFaaSClient
+from repro.core.config import Config, ExecutorSpec
+from repro.core.exceptions import TaskFailedError
+from repro.core.functions import function
+from repro.faas.local import LocalEndpoint, LocalFabric
+
+
+@function
+def add(a, b):
+    return a + b
+
+
+@function
+def square(x):
+    return x * x
+
+
+@function
+def total(*values):
+    return sum(values)
+
+
+@function
+def explode():
+    raise ValueError("boom")
+
+
+def make_client(endpoints=("local",), workers=2, strategy="LOCALITY", **config_overrides):
+    fabric = LocalFabric([LocalEndpoint(name, max_workers=workers) for name in endpoints])
+    config = Config(
+        executors=[ExecutorSpec(label=name, endpoint=name) for name in endpoints],
+        scheduling_strategy=strategy,
+        enable_scaling=False,
+        **config_overrides,
+    )
+    return UniFaaSClient(config, fabric), fabric
+
+
+class TestLocalExecution:
+    def test_quickstart_map_reduce(self):
+        client, fabric = make_client()
+        try:
+            with client:
+                squares = [square(i) for i in range(6)]
+                result = total(*squares)
+                client.run(max_wall_time_s=30.0)
+            assert result.result() == sum(i * i for i in range(6))
+            assert client.graph.is_complete()
+        finally:
+            fabric.shutdown()
+
+    def test_future_chaining_passes_real_values(self):
+        client, fabric = make_client()
+        try:
+            with client:
+                a = add(1, 2)
+                b = add(a, 10)
+                c = add(b, a)
+                client.run(max_wall_time_s=30.0)
+            assert a.result() == 3
+            assert b.result() == 13
+            assert c.result() == 16
+        finally:
+            fabric.shutdown()
+
+    def test_multiple_local_endpoints(self):
+        client, fabric = make_client(endpoints=("ep1", "ep2"), strategy="ROUND_ROBIN")
+        try:
+            with client:
+                futures = [square(i) for i in range(8)]
+                client.run(max_wall_time_s=30.0)
+            assert [f.result() for f in futures] == [i * i for i in range(8)]
+            counts = client.summary().tasks_per_endpoint
+            assert set(counts) == {"ep1", "ep2"}
+        finally:
+            fabric.shutdown()
+
+    def test_exception_propagates_after_retries(self):
+        client, fabric = make_client(max_task_retries=0)
+        try:
+            with client:
+                fut = explode()
+                client.run(max_wall_time_s=30.0)
+            with pytest.raises(TaskFailedError):
+                fut.result()
+        finally:
+            fabric.shutdown()
+
+    def test_wall_time_budget_enforced(self):
+        import time
+
+        @function
+        def slow():
+            time.sleep(0.3)
+            return "done"
+
+        client, fabric = make_client(workers=1)
+        try:
+            from repro.core.exceptions import SchedulingError
+
+            with client:
+                [slow() for _ in range(50)]
+                with pytest.raises(SchedulingError):
+                    client.run(max_wall_time_s=0.5)
+        finally:
+            fabric.shutdown()

@@ -1,0 +1,84 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro.metrics.collector import LatencyBreakdown, MetricsCollector, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_stats(self):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        series.append(5.0, 3.0)
+        assert len(series) == 2
+        assert series.last() == 3.0
+        assert series.max() == 3.0
+        assert series.mean() == 2.0
+
+    def test_empty_series(self):
+        series = TimeSeries()
+        assert series.last() is None
+        assert series.max() == 0.0
+        assert series.mean() == 0.0
+
+
+class TestLatencyBreakdown:
+    def test_total_and_dict(self):
+        breakdown = LatencyBreakdown(
+            scheduling_s=0.003,
+            data_management_s=0.001,
+            submission_s=0.004,
+            execution_s=1.087,
+            result_polling_s=0.117,
+            result_logging_s=0.001,
+        )
+        assert breakdown.total() == pytest.approx(1.213)
+        assert breakdown.as_dict()["execution_s"] == pytest.approx(1.087)
+
+
+class TestMetricsCollector:
+    def test_sampling_and_utilization(self):
+        collector = MetricsCollector(sample_interval_s=1.0)
+        collector.sample(
+            0.0,
+            {"a": {"active": 10, "busy": 5}, "b": {"active": 10, "busy": 10}},
+            staging_tasks=3,
+        )
+        assert collector.utilization.values == [75.0]
+        assert collector.staging_tasks.values == [3]
+        assert collector.active_workers["a"].values == [10]
+        assert collector.busy_workers["b"].values == [10]
+
+    def test_completion_counters(self):
+        collector = MetricsCollector()
+        collector.record_completion("a", "fn", success=True)
+        collector.record_completion("a", "fn", success=True)
+        collector.record_completion("b", "fn", success=False)
+        assert collector.completed_count == 2
+        assert collector.failed_count == 1
+        assert collector.tasks_completed_by_endpoint == {"a": 2}
+
+    def test_makespan_and_summary(self):
+        collector = MetricsCollector()
+        collector.workflow_started(10.0)
+        collector.workflow_finished(110.0)
+        collector.record_completion("a", "fn", success=True)
+        collector.record_reschedule(3)
+        collector.record_scheduling_overhead(0.01, 10)
+        summary = collector.summary(transfer_volume_mb=2048.0)
+        assert summary.makespan_s == 100.0
+        assert summary.transfer_volume_gb == pytest.approx(2.0)
+        assert summary.rescheduled_tasks == 3
+        assert summary.scheduler_overhead_per_task_s == pytest.approx(0.001)
+        assert summary.as_dict()["completed_tasks"] == 1
+
+    def test_zero_division_guards(self):
+        collector = MetricsCollector()
+        assert collector.makespan_s == 0.0
+        assert collector.scheduler_overhead_per_task_s() == 0.0
+        collector.sample(0.0, {}, staging_tasks=0)
+        assert collector.utilization.values == [0.0]
+
+    def test_invalid_sample_interval(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(sample_interval_s=0.0)

@@ -1,0 +1,89 @@
+"""Tests for the task monitor."""
+
+import pytest
+
+from repro.data.remote_file import GlobusFile
+from repro.data.transfer import TransferRequest, TransferResult
+from repro.faas.types import TaskExecutionRecord
+from repro.monitor.task_monitor import TaskMonitor
+
+
+def record(task_id="t1", endpoint="ep1", fn="work", success=True, start=0.0, end=5.0):
+    return TaskExecutionRecord(
+        task_id=task_id,
+        endpoint=endpoint,
+        function_name=fn,
+        success=success,
+        submitted_at=0.0,
+        started_at=start,
+        completed_at=end,
+        input_mb=2.0,
+        output_mb=1.0,
+        cores_per_node=24,
+        cpu_freq_ghz=2.6,
+        ram_gb=64,
+    )
+
+
+def transfer_result(src="a", dst="b", size=10.0, success=True):
+    file = GlobusFile("x", size_mb=size, location=src)
+    request = TransferRequest(file=file, src=src, dst=dst)
+    return TransferResult(request=request, success=success, started_at=0.0, completed_at=2.0)
+
+
+class TestTaskObservation:
+    def test_records_streamed_to_store_and_listeners(self):
+        monitor = TaskMonitor()
+        seen = []
+        monitor.add_task_listener(seen.append)
+        monitor.observe_task(record())
+        assert monitor.records_seen == 1
+        assert len(seen) == 1
+        assert monitor.store.task_count() == 1
+        assert monitor.completed_task_count() == 1
+
+    def test_mean_execution_time(self):
+        monitor = TaskMonitor()
+        monitor.observe_task(record(end=4.0))
+        monitor.observe_task(record(end=8.0))
+        assert monitor.mean_execution_time("work") == pytest.approx(6.0)
+        assert monitor.mean_execution_time("unknown") is None
+
+    def test_failures_not_used_for_exec_stats(self):
+        monitor = TaskMonitor()
+        monitor.observe_task(record(success=False))
+        assert monitor.mean_execution_time("work") is None
+        assert monitor.failed_task_count() == 1
+
+
+class TestSuccessRates:
+    def test_success_rate_tracking(self):
+        monitor = TaskMonitor()
+        monitor.observe_task(record(endpoint="good"))
+        monitor.observe_task(record(endpoint="good"))
+        monitor.observe_task(record(endpoint="bad", success=False))
+        monitor.observe_task(record(endpoint="bad"))
+        assert monitor.success_rate("good") == 1.0
+        assert monitor.success_rate("bad") == pytest.approx(0.5)
+        assert monitor.success_rate("unseen") == 1.0
+
+    def test_most_reliable_endpoint(self):
+        monitor = TaskMonitor()
+        monitor.observe_task(record(endpoint="a", success=False))
+        monitor.observe_task(record(endpoint="b"))
+        assert monitor.most_reliable_endpoint(["a", "b"]) == "b"
+        with pytest.raises(ValueError):
+            monitor.most_reliable_endpoint([])
+
+
+class TestTransferObservation:
+    def test_transfer_records_stored(self):
+        monitor = TaskMonitor()
+        seen = []
+        monitor.add_transfer_listener(seen.append)
+        monitor.observe_transfer(transfer_result(), concurrency=2)
+        assert monitor.store.transfer_count() == 1
+        assert len(seen) == 1
+        stored = monitor.store.transfer_records()[0]
+        assert stored.concurrency == 2
+        assert stored.duration_s == pytest.approx(2.0)

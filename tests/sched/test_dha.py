@@ -1,0 +1,226 @@
+"""Tests for the DHA scheduler."""
+
+import pytest
+
+from repro.core.dag import TaskState
+from repro.faas.types import TaskExecutionRecord
+from repro.sched.dha import DHAScheduler
+
+from tests.sched.conftest import EndpointSpec, add_task, build_context, input_file
+
+QIMING_HW = (24.0, 2.6, 64.0)
+TAIYI_HW = (40.0, 2.4, 192.0)
+
+
+def build(endpoints, **kwargs):
+    bundle = build_context(endpoints)
+    scheduler = DHAScheduler(**kwargs)
+    scheduler.initialize(bundle.context)
+    return bundle, scheduler
+
+
+def observe(bundle, fn_name, endpoint, duration, hw):
+    """Feed the execution profiler an observation for (function, endpoint)."""
+    bundle.execution_profiler.observe(
+        TaskExecutionRecord(
+            task_id="obs",
+            endpoint=endpoint,
+            function_name=fn_name,
+            success=True,
+            submitted_at=0.0,
+            started_at=0.0,
+            completed_at=duration,
+            input_mb=0.0,
+            output_mb=1.0,
+            cores_per_node=int(hw[0]),
+            cpu_freq_ghz=hw[1],
+            ram_gb=hw[2],
+        )
+    )
+
+
+class TestPriorities:
+    def test_chain_priorities_decrease_downstream(self):
+        bundle, scheduler = build({"a": EndpointSpec()})
+        t1 = add_task(bundle.graph)
+        t2 = add_task(bundle.graph, deps=[t1])
+        t3 = add_task(bundle.graph, deps=[t2])
+        scheduler.on_workflow_submitted([t1, t2, t3])
+        assert scheduler.priority(t1.task_id) > scheduler.priority(t2.task_id)
+        assert scheduler.priority(t2.task_id) > scheduler.priority(t3.task_id)
+        # The recursion of eq. 2 makes the root's priority the whole chain.
+        assert t1.priority == pytest.approx(3 * scheduler.priority(t3.task_id))
+
+    def test_priority_includes_successor_maximum(self):
+        bundle, scheduler = build({"a": EndpointSpec(), "b": EndpointSpec()})
+        root = add_task(bundle.graph)
+        light = add_task(bundle.graph, deps=[root])
+        heavy = add_task(bundle.graph, deps=[root])
+        # Heavy's input sits on "a" only, so its average staging time over the
+        # two endpoints is non-zero while light's stays zero.
+        heavy.input_files = [input_file(500.0, "a")]
+        scheduler.on_workflow_submitted([root, light, heavy])
+        assert scheduler.priority(root.task_id) >= scheduler.priority(heavy.task_id)
+        assert scheduler.priority(heavy.task_id) > scheduler.priority(light.task_id)
+
+    def test_priorities_recomputed_for_dynamic_tasks(self):
+        bundle, scheduler = build({"a": EndpointSpec()})
+        t1 = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([t1])
+        t2 = add_task(bundle.graph, deps=[t1])
+        scheduler.on_tasks_added([t2])
+        assert scheduler.priority(t2.task_id) > 0
+
+
+class TestEndpointSelection:
+    def test_prefers_faster_hardware_when_profiled(self):
+        bundle, scheduler = build(
+            {"qiming": EndpointSpec(workers=8, cores=24, freq=2.6, ram=64, speed=1.0),
+             "taiyi": EndpointSpec(workers=8, cores=40, freq=2.4, ram=192, speed=1.45)}
+        )
+        # Profile: the function runs 100 s on Qiming-class and 60 s on Taiyi-class nodes.
+        for _ in range(6):
+            observe(bundle, "generic_work", "qiming", 100.0, QIMING_HW)
+            observe(bundle, "generic_work", "taiyi", 60.0, TAIYI_HW)
+        bundle.execution_profiler.update_models(force=True)
+
+        task = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([task])
+        placements = scheduler.schedule([task])
+        assert placements[0].endpoint == "taiyi"
+
+    def test_prefers_faster_speed_factor_without_profile(self):
+        bundle, scheduler = build(
+            {"slow": EndpointSpec(workers=8, speed=1.0), "fast": EndpointSpec(workers=8, speed=1.5)}
+        )
+        task = add_task(bundle.graph)
+        placements = scheduler.schedule([task])
+        assert placements[0].endpoint == "fast"
+
+    def test_data_gravity_can_outweigh_speed(self):
+        bundle, scheduler = build(
+            {"slow": EndpointSpec(workers=8, speed=1.0), "fast": EndpointSpec(workers=8, speed=1.2)},
+        )
+        # Huge input sitting on the slow endpoint: moving it costs far more
+        # than the execution-speed benefit.
+        task = add_task(bundle.graph, input_files=[input_file(5000.0, "slow")])
+        placements = scheduler.schedule([task])
+        assert placements[0].endpoint == "slow"
+
+    def test_tasks_scheduled_in_priority_order(self):
+        bundle, scheduler = build({"a": EndpointSpec(workers=1)})
+        root = add_task(bundle.graph)
+        leaf = add_task(bundle.graph, deps=[root])
+        scheduler.on_workflow_submitted([root, leaf])
+        placements = scheduler.schedule([leaf, root])
+        assert placements[0].task_id == root.task_id
+
+    def test_backlog_spreads_load(self):
+        bundle, scheduler = build(
+            {"a": EndpointSpec(workers=2), "b": EndpointSpec(workers=2)}
+        )
+        tasks = [add_task(bundle.graph) for _ in range(8)]
+        scheduler.on_workflow_submitted(tasks)
+        placements = scheduler.schedule(tasks)
+        endpoints = {p.endpoint for p in placements}
+        assert endpoints == {"a", "b"}
+
+
+class TestDelayMechanism:
+    def test_dispatch_gated_on_idle_capacity(self):
+        bundle, scheduler = build({"a": EndpointSpec(workers=1)})
+        t1 = add_task(bundle.graph)
+        t2 = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([t1, t2])
+        for p in scheduler.schedule([t1, t2]):
+            bundle.graph.get(p.task_id).assigned_endpoint = p.endpoint
+
+        assert scheduler.should_dispatch(t1)
+        # Occupy the single worker.
+        bundle.monitor.record_dispatch("a")
+        scheduler.on_task_dispatched(t1, "a")
+        assert not scheduler.should_dispatch(t2)
+        # Worker frees up -> dispatch allowed again.
+        bundle.monitor.record_completion("a")
+        assert scheduler.should_dispatch(t2)
+
+    def test_delay_mechanism_can_be_disabled(self):
+        bundle, scheduler = build({"a": EndpointSpec(workers=0)}, enable_delay_mechanism=False)
+        task = add_task(bundle.graph)
+        task.assigned_endpoint = "a"
+        assert scheduler.should_dispatch(task)
+
+    def test_unassigned_task_never_dispatchable(self):
+        bundle, scheduler = build({"a": EndpointSpec(workers=4)})
+        task = add_task(bundle.graph)
+        assert not scheduler.should_dispatch(task)
+
+
+class TestRescheduling:
+    def _scheduled_pending_task(self, bundle, scheduler, endpoint):
+        task = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([task])
+        placement = scheduler.schedule([task])[0]
+        task.assigned_endpoint = placement.endpoint
+        bundle.graph.set_state(task.task_id, TaskState.STAGED)
+        return task
+
+    def test_steals_tasks_to_idle_endpoint(self):
+        bundle, scheduler = build(
+            {"busy": EndpointSpec(workers=2, busy=2, speed=1.5), "idle": EndpointSpec(workers=4, speed=1.0)}
+        )
+        # Force the pending task onto the busy endpoint to simulate a stale decision.
+        task = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([task])
+        task.assigned_endpoint = "busy"
+        scheduler.claim("busy", 1)
+        bundle.graph.set_state(task.task_id, TaskState.STAGED)
+
+        moves = scheduler.reschedule([task])
+        assert len(moves) == 1
+        assert moves[0].endpoint == "idle"
+        assert scheduler.rescheduled_count == 1
+
+    def test_no_move_when_target_has_no_capacity(self):
+        bundle, scheduler = build(
+            {"busy": EndpointSpec(workers=2, busy=2), "alsobusy": EndpointSpec(workers=2, busy=2)}
+        )
+        task = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([task])
+        task.assigned_endpoint = "busy"
+        scheduler.claim("busy", 1)
+        assert scheduler.reschedule([task]) == []
+
+    def test_no_move_when_current_endpoint_can_start_task(self):
+        bundle, scheduler = build(
+            {"current": EndpointSpec(workers=4), "other": EndpointSpec(workers=4)}
+        )
+        task = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([task])
+        task.assigned_endpoint = "current"
+        assert scheduler.reschedule([task]) == []
+
+    def test_rescheduling_disabled(self):
+        bundle, scheduler = build(
+            {"busy": EndpointSpec(workers=1, busy=1), "idle": EndpointSpec(workers=4)},
+            enable_rescheduling=False,
+        )
+        task = add_task(bundle.graph)
+        task.assigned_endpoint = "busy"
+        assert scheduler.reschedule([task]) == []
+
+    def test_data_locality_respected_when_stealing(self):
+        bundle, scheduler = build(
+            {
+                "busy": EndpointSpec(workers=1, busy=1),
+                "near": EndpointSpec(workers=2),
+                "far": EndpointSpec(workers=2),
+            }
+        )
+        task = add_task(bundle.graph, input_files=[input_file(2000.0, "near")])
+        scheduler.on_workflow_submitted([task])
+        task.assigned_endpoint = "busy"
+        scheduler.claim("busy", 1)
+        bundle.graph.set_state(task.task_id, TaskState.STAGED)
+        moves = scheduler.reschedule([task])
+        assert moves and moves[0].endpoint == "near"
