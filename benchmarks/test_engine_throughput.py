@@ -1,0 +1,134 @@
+"""Engine-pump micro-benchmark: scheduling throughput and memoization.
+
+Anchors the performance trajectory of the engine refactor: a 5 000-task
+layered synthetic DAG is scheduled with DHA, whose priority and placement
+rounds evaluate ``predicted_execution_time`` per task × endpoint.  The
+memoized :class:`~repro.sched.base.SchedulingContext` must serve the bulk of
+those lookups from cache — recomputing only when a profiler retrain, a
+hardware change or an input-file change actually changes the answer.
+"""
+
+import os
+
+from repro.core.functions import set_current_client
+from repro.experiments.environment import EndpointSetup, build_simulation
+from repro.faas.types import ServiceLatencyModel
+from repro.sim.hardware import ClusterSpec, HardwareSpec
+from repro.sim.network import NetworkModel
+from repro.workloads.spec import TaskTypeSpec, make_task_type
+
+#: DAG size; override with REPRO_BENCH_ENGINE_TASKS for quick local runs.
+TASK_COUNT = int(os.environ.get("REPRO_BENCH_ENGINE_TASKS", "5000"))
+LAYER_WIDTH = 100
+
+BENCH_SPEC = TaskTypeSpec(name="engine_bench_task", duration_s=1.0, output_mb=0.0)
+
+
+def _cluster(name: str, speed: float) -> ClusterSpec:
+    return ClusterSpec(
+        name=name,
+        hardware=HardwareSpec(cores_per_node=16, cpu_freq_ghz=2.5, ram_gb=64, speed_factor=speed),
+        num_nodes=2,
+        workers_per_node=16,
+        queue_delay_mean_s=0.0,
+        queue_delay_std_s=0.0,
+    )
+
+
+def _build_client():
+    setups = [
+        EndpointSetup(
+            name=name,
+            cluster=_cluster(name, speed),
+            initial_workers=16,
+            auto_scale=False,
+            duration_jitter=0.0,
+            execution_overhead_s=0.0,
+        )
+        for name, speed in (("site_a", 1.0), ("site_b", 1.4))
+    ]
+    network = NetworkModel.uniform(
+        ["site_a", "site_b"], bandwidth_mbps=200.0, jitter=0.0, seed=0
+    )
+    latency = ServiceLatencyModel(
+        submit_latency_s=0.001,
+        dispatch_latency_s=0.01,
+        result_poll_latency_s=0.01,
+        endpoint_overhead_s=0.0,
+        status_refresh_interval_s=60.0,
+    )
+    env = build_simulation(setups, network=network, latency=latency, seed=0)
+    # Warm-profiler regime: models are pre-trained below and not retrained
+    # mid-run, so every cache invalidation in the measurement window comes
+    # from actual state changes, not from periodic retraining.
+    config = env.make_config("DHA", profiler_update_interval_s=3600.0)
+    client = env.make_client(config)
+    env.seed_full_knowledge(client)
+    env.seed_execution_knowledge(client, [BENCH_SPEC])
+    return env, client
+
+
+def _submit_layered_dag(client, task_count: int, width: int):
+    """A layered DAG: each task depends on two tasks of the previous layer."""
+    fn = make_task_type(BENCH_SPEC)
+    futures = []
+    with client:
+        previous = []
+        while len(futures) < task_count:
+            layer_size = min(width, task_count - len(futures))
+            layer = []
+            for i in range(layer_size):
+                if previous:
+                    parents = (previous[i % len(previous)], previous[(i + 1) % len(previous)])
+                else:
+                    parents = ()
+                layer.append(fn(*parents))
+            futures.extend(layer)
+            previous = layer
+    return futures
+
+
+def test_engine_throughput_and_memoization(benchmark):
+    env, client = _build_client()
+
+    def run():
+        futures = _submit_layered_dag(client, TASK_COUNT, LAYER_WIDTH)
+        client.run()
+        return futures
+
+    try:
+        futures = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        set_current_client(None)
+
+    assert client.graph.is_complete()
+    assert all(f.done() for f in futures)
+    summary = client.summary()
+    assert summary.completed_tasks == TASK_COUNT
+    assert summary.failed_tasks == 0
+
+    context = client.engine.context
+    calls = context.exec_cache_hits + context.exec_cache_misses
+    hit_rate = context.exec_cache_hits / calls
+    tasks_per_sim_s = TASK_COUNT / summary.makespan_s
+
+    print()
+    print("Engine pump throughput — 5k-task layered DAG under DHA")
+    print(f"  tasks                  : {TASK_COUNT}")
+    print(f"  makespan (sim)         : {summary.makespan_s:.1f} s")
+    print(f"  throughput (sim)       : {tasks_per_sim_s:.1f} tasks/s")
+    print(f"  prediction lookups     : {calls}")
+    print(f"  recomputations (miss)  : {context.exec_cache_misses}")
+    print(f"  memoization hit rate   : {hit_rate:.1%}")
+    benchmark.extra_info["hit_rate"] = round(hit_rate, 4)
+    benchmark.extra_info["prediction_lookups"] = calls
+    benchmark.extra_info["recomputations"] = context.exec_cache_misses
+
+    # The memoized context must serve the repeat lookups from cache: DHA
+    # touches every (task, endpoint) pair at least twice (priority rounds +
+    # placement), so roughly half of all lookups are repeats.
+    assert hit_rate >= 0.45, f"memoization hit rate {hit_rate:.1%} below 45%"
+    # Recomputations are bounded by what actually changed — at most one
+    # computation per (task, endpoint) pair, not (rounds x pending).
+    endpoint_count = len(client.fabric.endpoint_names())
+    assert context.exec_cache_misses <= TASK_COUNT * endpoint_count * 1.05

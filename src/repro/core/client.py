@@ -1,56 +1,57 @@
-"""The UniFaaS orchestration engine (§IV).
+"""The UniFaaS client — a thin façade over the orchestration engine (§IV).
 
-:class:`UniFaaSClient` ties the five system components of Fig. 1 together:
-
-* the **DAG generator** — decorated-function invocations become tasks in a
-  dynamic :class:`~repro.core.dag.TaskGraph`;
-* the **monitors** — a :class:`~repro.monitor.task_monitor.TaskMonitor`
-  streaming execution records into the history store and profilers, and an
-  :class:`~repro.monitor.endpoint_monitor.EndpointMonitor` whose mock
-  endpoints give the scheduler a real-time view;
-* the **profilers** — execution and transfer time predictors;
-* the **scheduler** — any of :mod:`repro.sched`'s algorithms, driven through
-  the observe–predict–decide loop;
-* the **data manager** — transparent staging of task inputs; and
-* the **task executor** — batched submission and result collection through
-  the execution fabric (simulated or local).
-
-The engine is deliberately single-threaded and event-driven so the same code
-path runs on the discrete-event simulation substrate (experiments) and on
-real thread-pool endpoints (examples).
+:class:`UniFaaSClient` is the object user code holds: decorated-function
+invocations register tasks through it, :meth:`run` executes the composed
+workflow, :meth:`summary` reports the outcome.  All orchestration lives in
+:class:`~repro.engine.core.ExecutionEngine`, which ties the five system
+components of Fig. 1 — DAG generator, monitors, profilers, scheduler and
+data manager — together around a typed
+:class:`~repro.engine.bus.EventBus`.  The client delegates the engine's
+components under their historical attribute names (reads *and* writes), so
+existing experiments, examples and tests keep working unchanged.
 """
 
 from __future__ import annotations
 
-import time as _time
-from collections import defaultdict, deque
-from typing import Any, Deque, Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, Optional
 
 from repro.core.config import Config
-from repro.core.dag import Task, TaskGraph, TaskState
-from repro.core.exceptions import SchedulingError, TaskFailedError, TransferFailedError, UniFaaSError
 from repro.core.functions import FederatedFunction, set_current_client
 from repro.core.futures import UniFuture
-from repro.data.manager import DataManager, StagingTicket
-from repro.data.remote_file import GlobusFile, RemoteFile, RsyncFile
-from repro.data.transfer import LocalCopyTransferBackend, TransferBackend, TransferResult
-from repro.elastic.scaling import DefaultScalingStrategy, EndpointView, NoScalingStrategy, ScalingStrategy
+from repro.data.transfer import TransferBackend
+from repro.elastic.scaling import ScalingStrategy
+from repro.engine.core import ENDPOINT_HINT_KWARG, ExecutionEngine
 from repro.faas.fabric import ExecutionFabric
-from repro.faas.types import TaskExecutionRecord
 from repro.metrics.collector import MetricsCollector
-from repro.monitor.endpoint_monitor import EndpointMonitor
 from repro.monitor.store import HistoryStore
-from repro.monitor.task_monitor import TaskMonitor
-from repro.profiling.execution import ExecutionProfiler
-from repro.profiling.transfer import TransferProfiler
-from repro.sched import create_scheduler
-from repro.sched.base import Scheduler, SchedulingContext
+from repro.sched.base import Scheduler
 
-__all__ = ["UniFaaSClient"]
+__all__ = ["ENDPOINT_HINT_KWARG", "UniFaaSClient"]
 
-#: Reserved keyword argument that pins a task to a specific endpoint,
-#: bypassing the scheduler (used by the elasticity experiments).
-ENDPOINT_HINT_KWARG = "unifaas_endpoint"
+#: Engine components re-exposed under their historical client attribute
+#: names.  Both reads and writes delegate, so rebinding e.g.
+#: ``client.scheduler`` mid-experiment behaves as it did pre-refactor.
+_ENGINE_ATTRS = frozenset(
+    {
+        "config",
+        "fabric",
+        "clock",
+        "graph",
+        "bus",
+        "task_monitor",
+        "endpoint_monitor",
+        "execution_profiler",
+        "transfer_profiler",
+        "data_manager",
+        "scheduler",
+        "scaling_strategy",
+        "metrics",
+        "context",
+    }
+)
+
+#: Attributes delegated to the engine's periodic coordinator.
+_PERIODIC_ATTRS = frozenset({"scaling_check_interval_s"})
 
 
 class UniFaaSClient:
@@ -68,79 +69,34 @@ class UniFaaSClient:
         metrics: Optional[MetricsCollector] = None,
         scaling_check_interval_s: float = 10.0,
     ) -> None:
-        self.config = config
-        self.fabric = fabric
-        self.clock = fabric.clock
-        self.graph = TaskGraph()
-
-        # Monitors.
-        store = history_store or HistoryStore(config.history_db_path or ":memory:")
-        self.task_monitor = TaskMonitor(store)
-        self.endpoint_monitor = EndpointMonitor(
-            lambda name: fabric.endpoint_status(name),
-            self.clock,
-            sync_interval_s=config.endpoint_sync_interval_s,
+        self.engine = ExecutionEngine(
+            config,
+            fabric,
+            transfer_backend=transfer_backend,
+            scheduler=scheduler,
+            scaling_strategy=scaling_strategy,
+            history_store=history_store,
+            metrics=metrics,
+            scaling_check_interval_s=scaling_check_interval_s,
         )
-
-        # Profilers (warm-started from history when available).
-        self.execution_profiler = ExecutionProfiler(store if store.task_count() else None)
-        self.transfer_profiler = TransferProfiler(store if store.transfer_count() else None)
-        self.task_monitor.add_task_listener(self.execution_profiler.observe)
-
-        # Data manager.
-        backend = transfer_backend or LocalCopyTransferBackend(clock=self.clock)
-        self.data_manager = DataManager(
-            backend,
-            self.clock,
-            mechanism=config.transfer_mechanism,
-            max_concurrent_transfers=config.max_concurrent_transfers,
-            max_retries=config.max_transfer_retries,
-        )
-        self.data_manager.add_staged_callback(self._on_staging_done)
-        self.data_manager.add_transfer_callback(self._on_transfer_result)
-
-        # Scheduler.
-        if scheduler is not None:
-            self.scheduler = scheduler
-        else:
-            kwargs = {}
-            if config.strategy == "DHA":
-                kwargs = dict(
-                    enable_delay_mechanism=config.enable_delay_mechanism,
-                    enable_rescheduling=config.enable_rescheduling,
-                )
-            self.scheduler = create_scheduler(config.strategy, **kwargs)
-
-        # Elasticity.
-        if scaling_strategy is not None:
-            self.scaling_strategy = scaling_strategy
-        elif config.enable_scaling:
-            caps = {
-                spec.endpoint: spec.max_workers
-                for spec in config.executors
-                if spec.max_workers is not None
-            }
-            self.scaling_strategy = DefaultScalingStrategy(caps=caps)
-        else:
-            self.scaling_strategy = NoScalingStrategy()
-        self.scaling_check_interval_s = scaling_check_interval_s
-
-        # Metrics.
-        self.metrics = metrics or MetricsCollector()
-
-        # Engine state.
-        self._pending_schedule: Deque[Task] = deque()
-        self._pending_schedule_ids: Set[str] = set()
-        self._staged_queues: Dict[str, Deque[str]] = defaultdict(deque)
-        self._undispatched: Set[str] = set()
-        self._running = False
-        self._last_profiler_update = 0.0
-        self._last_endpoint_sync = 0.0
-        self._last_reschedule = 0.0
-        self._last_scaling_check = 0.0
-        self._last_metrics_sample = 0.0
-
         set_current_client(self)
+
+    # -------------------------------------------------------- engine delegation
+    def __getattr__(self, name: str):
+        # Only consulted for names not found the normal way.
+        if name in _ENGINE_ATTRS:
+            return getattr(self.engine, name)
+        if name in _PERIODIC_ATTRS:
+            return getattr(self.engine.periodic, name)
+        raise AttributeError(f"{type(self).__name__!s} object has no attribute {name!r}")
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _ENGINE_ATTRS:
+            setattr(self.engine, name, value)
+        elif name in _PERIODIC_ATTRS:
+            setattr(self.engine.periodic, name, value)
+        else:
+            super().__setattr__(name, value)
 
     # ----------------------------------------------------------- context mgmt
     def __enter__(self) -> "UniFaaSClient":
@@ -157,373 +113,17 @@ class UniFaaSClient:
         Called by :class:`~repro.core.functions.FederatedFunction` when a
         decorated function is invoked.
         """
-        kwargs = dict(kwargs)
-        endpoint_hint = kwargs.pop(ENDPOINT_HINT_KWARG, None)
-
-        dependencies: Set[str] = set()
-        input_files: List[RemoteFile] = []
-        for value in list(args) + list(kwargs.values()):
-            if isinstance(value, UniFuture) and value.task_id is not None:
-                dependencies.add(value.task_id)
-            elif isinstance(value, RemoteFile):
-                input_files.append(value)
-
-        task = Task(function=fn, args=args, kwargs=kwargs, dependencies=dependencies)
-        task.input_files = input_files
-        if endpoint_hint is not None:
-            task.assigned_endpoint = str(endpoint_hint)
-        self.graph.add_task(task, now=self.clock.now())
-
-        if task.state == TaskState.READY:
-            self._augment_input_files(task)
-            self._enqueue_for_scheduling(task)
-        if self._running:
-            self.scheduler.on_tasks_added([task])
-        return task.future
+        return self.engine.submit(fn, args, kwargs)
 
     # -------------------------------------------------------------------- run
     def run(self, max_wall_time_s: Optional[float] = None) -> None:
         """Execute the composed workflow to completion.
 
-        Raises :class:`SchedulingError` if the workflow stalls (for example,
-        every endpoint lost all its workers and scaling is disabled).
+        Raises :class:`~repro.core.exceptions.SchedulingError` if the
+        workflow stalls (for example, every endpoint lost all its workers
+        and scaling is disabled).
         """
-        if len(self.graph) == 0:
-            return
-        self._start()
-        wall_start = _time.monotonic()
-        stall_rounds = 0
-        while not self.graph.is_complete():
-            if max_wall_time_s is not None and _time.monotonic() - wall_start > max_wall_time_s:
-                raise SchedulingError(
-                    f"workflow exceeded the wall-time budget of {max_wall_time_s} s"
-                )
-            records = self.fabric.process()
-            for record in records:
-                self._handle_completion(record)
-            self._periodic_checks()
-            progressed = self._pump()
-            if records or progressed or self.fabric.pending_work():
-                stall_rounds = 0
-                continue
-            stall_rounds += 1
-            if stall_rounds > 10:
-                self._diagnose_stall()
-        self.metrics.workflow_finished(self.clock.now())
-        self.fabric.flush()
-
-    def _start(self) -> None:
-        self._running = True
-        for name in self.fabric.endpoint_names():
-            if name not in self.endpoint_monitor.endpoint_names():
-                self.endpoint_monitor.register(name)
-        context = SchedulingContext(
-            graph=self.graph,
-            endpoint_monitor=self.endpoint_monitor,
-            execution_profiler=self.execution_profiler,
-            transfer_profiler=self.transfer_profiler,
-            data_manager=self.data_manager,
-            config=self.config,
-            clock=self.clock,
-            speed_factors={
-                name: self.fabric.speed_factor(name) for name in self.fabric.endpoint_names()
-            },
-        )
-        self.scheduler.initialize(context)
-        self.scheduler.on_workflow_submitted(self.graph.tasks())
-        self.metrics.workflow_started(self.clock.now())
-        self._sample_metrics(force=True)
-
-    def _diagnose_stall(self) -> None:
-        staged = self.graph.state_count(TaskState.STAGED)
-        if staged and not self.config.enable_delay_mechanism:
-            return  # dispatch will be retried on the next pump
-        if staged:
-            # Delay mechanism with nothing running anywhere: force dispatch so
-            # the workflow cannot deadlock on an empty pool.
-            forced = self._dispatch_staged(force=True)
-            if forced:
-                return
-        counts = self.graph.counts()
-        raise SchedulingError(f"workflow stalled; task states: {counts}")
-
-    # ------------------------------------------------------------------ pump
-    def _pump(self) -> bool:
-        """One round of scheduling, staging and dispatching.
-
-        Returns True when any task changed state (used for stall detection).
-        """
-        progressed = False
-        progressed |= self._schedule_ready_tasks()
-        progressed |= self._dispatch_staged()
-        self.fabric.flush()
-        return progressed
-
-    def _enqueue_for_scheduling(self, task: Task) -> None:
-        if task.task_id in self._pending_schedule_ids:
-            return
-        self._pending_schedule.append(task)
-        self._pending_schedule_ids.add(task.task_id)
-
-    def _schedule_ready_tasks(self) -> bool:
-        if not self._pending_schedule:
-            return False
-        candidates = [
-            t for t in self._pending_schedule if t.state == TaskState.READY
-        ]
-        if not candidates:
-            return False
-
-        # Endpoint-pinned tasks bypass the scheduler entirely.
-        pinned = [t for t in candidates if t.assigned_endpoint is not None]
-        unpinned = [t for t in candidates if t.assigned_endpoint is None]
-
-        placements = []
-        if unpinned:
-            t0 = _time.perf_counter()
-            placements = self.scheduler.schedule(unpinned)
-            self.metrics.record_scheduling_overhead(
-                _time.perf_counter() - t0, len(placements) or len(unpinned)
-            )
-
-        placed_ids = set()
-        for placement in placements:
-            task = self.graph.get(placement.task_id)
-            self._begin_staging(task, placement.endpoint)
-            placed_ids.add(task.task_id)
-        for task in pinned:
-            self._begin_staging(task, task.assigned_endpoint)
-            placed_ids.add(task.task_id)
-
-        if placed_ids:
-            self._pending_schedule = deque(
-                t for t in self._pending_schedule if t.task_id not in placed_ids
-            )
-            self._pending_schedule_ids -= placed_ids
-        return bool(placed_ids)
-
-    def _begin_staging(self, task: Task, endpoint: str) -> None:
-        task.assigned_endpoint = endpoint
-        self.graph.set_state(task.task_id, TaskState.SCHEDULED, now=self.clock.now())
-        self._undispatched.add(task.task_id)
-        self.graph.set_state(task.task_id, TaskState.STAGING, now=self.clock.now())
-        self.data_manager.stage(task.task_id, task.input_files, endpoint)
-
-    def _on_staging_done(self, ticket: StagingTicket) -> None:
-        if ticket.task_id not in self.graph:
-            return
-        task = self.graph.get(ticket.task_id)
-        if task.state not in (TaskState.STAGING, TaskState.SCHEDULED):
-            return
-        if ticket.failed:
-            self._undispatched.discard(task.task_id)
-            self.graph.set_state(task.task_id, TaskState.FAILED, now=self.clock.now())
-            task.future.set_exception(
-                TransferFailedError(
-                    ticket.ticket_id, "unknown", ticket.destination, self.config.max_transfer_retries
-                )
-            )
-            return
-        self.graph.set_state(task.task_id, TaskState.STAGED, now=self.clock.now())
-        self._staged_queues[ticket.destination].append(task.task_id)
-
-    def _on_transfer_result(self, result: TransferResult, concurrency: int) -> None:
-        self.task_monitor.observe_transfer(result, concurrency)
-        self.transfer_profiler.observe(result, concurrency)
-
-    def _dispatch_staged(self, force: bool = False) -> bool:
-        dispatched_any = False
-        for endpoint, queue in self._staged_queues.items():
-            while queue:
-                task_id = queue[0]
-                if task_id not in self.graph:
-                    queue.popleft()
-                    continue
-                task = self.graph.get(task_id)
-                if task.state != TaskState.STAGED or task.assigned_endpoint != endpoint:
-                    # Task was re-scheduled elsewhere or already handled.
-                    queue.popleft()
-                    continue
-                if not force and not self.scheduler.should_dispatch(task):
-                    break
-                queue.popleft()
-                self._dispatch(task)
-                dispatched_any = True
-        return dispatched_any
-
-    def _dispatch(self, task: Task) -> None:
-        endpoint = task.assigned_endpoint
-        resolved_args, resolved_kwargs = None, None
-        if task.function.callable is not None and task.sim_profile is not None:
-            # Resolve future arguments for real (local) execution; harmless in
-            # simulation mode where the callable is never invoked.
-            try:
-                resolved_args, resolved_kwargs = task.resolved_args(self.graph)
-            except UniFaaSError:
-                resolved_args, resolved_kwargs = task.args, dict(task.kwargs)
-        request = self.fabric.build_request(task, resolved_args, resolved_kwargs)
-        task.attempts += 1
-        self.graph.set_state(task.task_id, TaskState.DISPATCHED, now=self.clock.now())
-        self._undispatched.discard(task.task_id)
-        self.fabric.submit(endpoint, request)
-        self.endpoint_monitor.record_dispatch(endpoint, cores=task.sim_profile.cores)
-        self.scheduler.on_task_dispatched(task, endpoint)
-
-    # ------------------------------------------------------------ completions
-    def _handle_completion(self, record: TaskExecutionRecord) -> None:
-        task = self.graph.get(record.task_id)
-        endpoint = record.endpoint
-        self.endpoint_monitor.record_completion(endpoint, cores=task.sim_profile.cores)
-        self.task_monitor.observe_task(record)
-        self.metrics.record_completion(endpoint, record.function_name, record.success)
-        self.scheduler.on_task_completed(task, record)
-
-        if not record.success:
-            self._handle_failure(task, record)
-            return
-
-        task.timestamps.started = record.started_at
-        # Register output data produced on the endpoint.
-        task.output_files = []
-        result_value: Any = record.result
-        if record.output_mb > 0:
-            file_cls = RsyncFile if self.config.transfer_mechanism == "rsync" else GlobusFile
-            output = file_cls(f"{task.task_id}.out", size_mb=record.output_mb, location=endpoint)
-            task.output_files.append(output)
-            if result_value is None:
-                result_value = output
-        if isinstance(record.result, RemoteFile):
-            self.data_manager.register_output(record.result, endpoint)
-            task.output_files.append(record.result)
-
-        task.result = result_value
-        newly_ready = self.graph.mark_completed(task.task_id, now=record.completed_at)
-        task.future.set_result(result_value)
-        for ready_task in newly_ready:
-            self._augment_input_files(ready_task)
-            if ready_task.assigned_endpoint is None:
-                self._enqueue_for_scheduling(ready_task)
-            else:
-                # Endpoint-pinned task: go straight to staging.
-                self._begin_staging(ready_task, ready_task.assigned_endpoint)
-
-    def _augment_input_files(self, task: Task) -> None:
-        """Add dependency outputs to the task's input file list."""
-        seen = {f.file_id for f in task.input_files}
-        for parent in self.graph.predecessors(task.task_id):
-            for file in parent.output_files:
-                if file.file_id not in seen:
-                    task.input_files.append(file)
-                    seen.add(file.file_id)
-
-    def _handle_failure(self, task: Task, record: TaskExecutionRecord) -> None:
-        """Fault tolerance: retry, then reassign, then fail (§IV-G)."""
-        endpoint = record.endpoint
-        if endpoint not in task.failed_endpoints:
-            task.failed_endpoints.append(endpoint)
-        all_endpoints = self.fabric.endpoint_names()
-
-        if task.attempts <= self.config.max_task_retries:
-            # Retry on the endpoint chosen by the scheduler (data already there).
-            retry_endpoint = endpoint
-        else:
-            candidates = [e for e in all_endpoints if e not in task.failed_endpoints]
-            if not candidates:
-                self.graph.set_state(task.task_id, TaskState.FAILED, now=self.clock.now())
-                task.future.set_exception(
-                    TaskFailedError(task.task_id, record.error or "unknown error", task.attempts)
-                )
-                return
-            retry_endpoint = self.task_monitor.most_reliable_endpoint(candidates)
-        self._begin_staging(task, retry_endpoint)
-
-    # --------------------------------------------------------------- periodic
-    def _periodic_checks(self) -> None:
-        now = self.clock.now()
-        if now - self._last_endpoint_sync >= self.config.endpoint_sync_interval_s:
-            self._last_endpoint_sync = now
-            self.endpoint_monitor.synchronize()
-            self.scheduler.on_capacity_changed()
-        if now - self._last_profiler_update >= self.config.profiler_update_interval_s:
-            self._last_profiler_update = now
-            self.execution_profiler.update_models()
-            self.transfer_profiler.update_models()
-        if (
-            self.scheduler.supports_rescheduling
-            and now - self._last_reschedule >= self.config.rescheduling_interval_s
-        ):
-            self._last_reschedule = now
-            self._run_rescheduling()
-        if now - self._last_scaling_check >= self.scaling_check_interval_s:
-            self._last_scaling_check = now
-            self._run_scaling()
-        if now - self._last_metrics_sample >= self.metrics.sample_interval_s:
-            self._sample_metrics()
-
-    def _run_rescheduling(self) -> None:
-        candidates = [
-            self.graph.get(task_id)
-            for task_id in list(self._undispatched)
-            if task_id in self.graph
-            and self.graph.get(task_id).state in (TaskState.SCHEDULED, TaskState.STAGING, TaskState.STAGED)
-        ]
-        if not candidates:
-            return
-        t0 = _time.perf_counter()
-        moves = self.scheduler.reschedule(candidates)
-        self.metrics.record_scheduling_overhead(_time.perf_counter() - t0, len(moves))
-        for move in moves:
-            task = self.graph.get(move.task_id)
-            previous = task.assigned_endpoint
-            if previous == move.endpoint:
-                continue
-            task.assigned_endpoint = move.endpoint
-            task.reschedule_count += 1
-            self.metrics.record_reschedule()
-            # Data staged (or staging) toward the old endpoint: start staging
-            # toward the new target; already-arrived replicas are reusable.
-            self.graph.set_state(task.task_id, TaskState.STAGING, now=self.clock.now())
-            self.data_manager.stage(task.task_id, task.input_files, move.endpoint)
-
-    def _run_scaling(self) -> None:
-        pending = (
-            len(self._pending_schedule)
-            + self.graph.state_count(TaskState.SCHEDULED)
-            + self.graph.state_count(TaskState.STAGING)
-            + self.graph.state_count(TaskState.STAGED)
-        )
-        views = {}
-        for name in self.fabric.endpoint_names():
-            mock = self.endpoint_monitor.mock(name)
-            views[name] = EndpointView(
-                name=name,
-                active_workers=mock.active_workers,
-                idle_workers=mock.idle_workers,
-                outstanding_tasks=mock.outstanding_tasks,
-                max_workers=mock.max_workers,
-            )
-        decision = self.scaling_strategy.decide(pending, views)
-        for name, workers in decision.workers_to_request.items():
-            if workers > 0:
-                self.fabric.request_workers(name, workers)
-
-    def _sample_metrics(self, force: bool = False) -> None:
-        now = self.clock.now()
-        if not force and now - self._last_metrics_sample < self.metrics.sample_interval_s:
-            return
-        self._last_metrics_sample = now
-        pending_by_endpoint: Dict[str, int] = defaultdict(int)
-        for task_id in self._undispatched:
-            if task_id in self.graph:
-                endpoint = self.graph.get(task_id).assigned_endpoint
-                if endpoint:
-                    pending_by_endpoint[endpoint] += 1
-        self.metrics.sample(
-            now,
-            self.fabric.worker_snapshot(),
-            self.data_manager.active_staging_tasks(),
-            pending_by_endpoint,
-        )
+        self.engine.run(max_wall_time_s=max_wall_time_s)
 
     # ----------------------------------------------------------------- status
     def summary(self):

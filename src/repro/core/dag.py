@@ -214,7 +214,9 @@ class TaskGraph:
         return [self._tasks[t] for t in self._successors.get(task_id, ())]
 
     def predecessors(self, task_id: str) -> List[Task]:
-        return [self._tasks[d] for d in self.get(task_id).dependencies]
+        # Sorted so consumers (input-file augmentation, input-size estimates)
+        # see a deterministic order regardless of hash randomisation.
+        return [self._tasks[d] for d in sorted(self.get(task_id).dependencies)]
 
     def state_count(self, state: TaskState) -> int:
         return self._state_counts[state]

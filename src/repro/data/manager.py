@@ -92,6 +92,10 @@ class DataManager:
         self._active_file_transfers: Dict[Tuple[str, str], _QueuedTransfer] = {}
         self._tickets: Dict[str, StagingTicket] = {}
         self._tickets_by_task: Dict[str, StagingTicket] = {}
+        #: Tickets created but not yet done — kept as a counter so the
+        #: metrics sampler's :meth:`active_staging_tasks` is O(1) instead of
+        #: re-scanning every ticket ever issued.
+        self._open_ticket_count = 0
         self._staged_callbacks: List[StagedCallback] = []
         self._transfer_callbacks: List[Callable[[TransferResult, int], None]] = []
 
@@ -131,7 +135,7 @@ class DataManager:
 
     def active_staging_tasks(self) -> int:
         """Number of tasks currently waiting on data staging (Fig. 10)."""
-        return sum(1 for t in self._tickets.values() if not t.done)
+        return self._open_ticket_count
 
     def ticket_for_task(self, task_id: str) -> Optional[StagingTicket]:
         return self._tickets_by_task.get(task_id)
@@ -159,6 +163,7 @@ class DataManager:
             self._notify(ticket)
             return ticket
 
+        self._open_ticket_count += 1
         for file in missing:
             dedup_key = (file.file_id, destination)
             existing = self._active_file_transfers.get(dedup_key)
@@ -230,6 +235,7 @@ class DataManager:
                 ticket.pending_transfers.discard(queued.request.transfer_id)
                 if ticket.done and ticket.completed_at is None:
                     ticket.completed_at = self.clock.now()
+                    self._open_ticket_count -= 1
                     self._notify(ticket)
         else:
             self.failed_transfer_count += 1
@@ -244,6 +250,7 @@ class DataManager:
                     ticket.failed = True
                     ticket.pending_transfers.discard(queued.request.transfer_id)
                     ticket.completed_at = self.clock.now()
+                    self._open_ticket_count -= 1
                     self._notify(ticket)
 
         self._pump_pair(pair)

@@ -1,0 +1,93 @@
+"""A synchronous, deterministic event bus.
+
+The orchestration engine is single-threaded by design so that the same code
+path runs identically on the discrete-event simulation substrate and on real
+thread-pool endpoints.  The bus therefore delivers events *synchronously* —
+``publish`` returns only after every handler ran — with two guarantees the
+coordinators rely on:
+
+* **Subscription order** — handlers for an event type run in the order they
+  subscribed.  The engine wires monitors, metrics, the scheduler and its own
+  continuations in the exact order the pre-refactor monolith invoked them.
+* **FIFO cascades** — an event published from inside a handler is queued and
+  delivered after the current event's remaining handlers, never recursively.
+  Cascades of any depth are processed breadth-first in publication order, so
+  a run's event sequence is a deterministic function of its inputs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Type
+
+from repro.engine.events import Event
+
+__all__ = ["EventBus"]
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for :mod:`repro.engine.events`."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type[Event], List[Handler]] = {}
+        self._any_handlers: List[Handler] = []
+        self._queue: Deque[Event] = deque()
+        self._draining = False
+        #: Total number of events delivered (diagnostics).
+        self.published_count = 0
+
+    # ---------------------------------------------------------- subscription
+    def subscribe(self, event_type: Type[Event], handler: Handler) -> Handler:
+        """Invoke ``handler`` for every event of exactly ``event_type``.
+
+        Returns the handler so callers can keep a reference for
+        :meth:`unsubscribe`.
+        """
+        if not (isinstance(event_type, type) and issubclass(event_type, Event)):
+            raise TypeError(f"expected an Event subclass, got {event_type!r}")
+        self._handlers.setdefault(event_type, []).append(handler)
+        return handler
+
+    def subscribe_all(self, handler: Handler) -> Handler:
+        """Invoke ``handler`` for every event (before type-specific handlers)."""
+        self._any_handlers.append(handler)
+        return handler
+
+    def unsubscribe(self, event_type: Type[Event], handler: Handler) -> bool:
+        """Remove a handler; returns False when it was not subscribed."""
+        handlers = self._handlers.get(event_type, [])
+        try:
+            handlers.remove(handler)
+            return True
+        except ValueError:
+            return False
+
+    # ----------------------------------------------------------- publication
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to its subscribers (synchronously, in order).
+
+        Re-entrant publishes are queued FIFO: when a handler publishes, the
+        new event is delivered after the in-flight event finishes, keeping
+        delivery order deterministic and stack depth bounded.
+        """
+        self._queue.append(event)
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._queue:
+                current = self._queue.popleft()
+                self.published_count += 1
+                for handler in list(self._any_handlers):
+                    handler(current)
+                for handler in list(self._handlers.get(type(current), ())):
+                    handler(current)
+        except BaseException:
+            # A handler failed mid-cascade: drop the undelivered remainder so
+            # a later, unrelated publish cannot replay stale events.
+            self._queue.clear()
+            raise
+        finally:
+            self._draining = False

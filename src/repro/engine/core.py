@@ -1,0 +1,385 @@
+"""The event-driven orchestration engine (§IV, Fig. 1).
+
+:class:`ExecutionEngine` composes the five system components of the paper —
+DAG generator, monitors, profilers, scheduler and data manager — around a
+deterministic :class:`~repro.engine.bus.EventBus` and four focused
+coordinators:
+
+* :class:`~repro.engine.placement.PlacementCoordinator` — ready tasks in,
+  :class:`TaskPlaced` events out (the scheduler's decide step);
+* :class:`~repro.engine.staging.StagingCoordinator` — placed tasks through
+  data staging (:class:`StagingDone`);
+* :class:`~repro.engine.dispatch.DispatchCoordinator` — delay-mechanism
+  gating and fabric submission (:class:`TaskDispatched`);
+* :class:`~repro.engine.failure.FailureCoordinator` — the retry / reassign /
+  fail ladder of §IV-G;
+
+plus the :class:`~repro.engine.periodic.PeriodicCoordinator` for everything
+on a cadence.  The monitors, the metrics collector and the scheduler observe
+the run purely through bus subscriptions — the subscription order reproduces
+the call order of the monolithic client this engine replaced, so scheduling
+outcomes are unchanged.
+
+The engine is deliberately single-threaded and runs identically on the
+discrete-event simulation substrate (experiments) and on real thread-pool
+endpoints (examples).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.config import Config
+from repro.core.dag import Task, TaskGraph, TaskState
+from repro.core.exceptions import SchedulingError
+from repro.core.functions import FederatedFunction
+from repro.core.futures import UniFuture
+from repro.data.manager import DataManager
+from repro.data.remote_file import GlobusFile, RemoteFile, RsyncFile
+from repro.data.transfer import LocalCopyTransferBackend, TransferBackend, TransferResult
+from repro.elastic.scaling import DefaultScalingStrategy, NoScalingStrategy, ScalingStrategy
+from repro.engine.bus import EventBus
+from repro.engine.dispatch import DispatchCoordinator
+from repro.engine.events import (
+    CapacityChanged,
+    TaskCompleted,
+    TaskDispatched,
+    TaskPlaced,
+    TaskReady,
+)
+from repro.engine.failure import FailureCoordinator
+from repro.engine.periodic import PeriodicCoordinator
+from repro.engine.placement import PlacementCoordinator
+from repro.engine.staging import StagingCoordinator
+from repro.engine.state import TaskIndex
+from repro.faas.fabric import ExecutionFabric
+from repro.faas.types import TaskExecutionRecord
+from repro.metrics.collector import MetricsCollector
+from repro.monitor.endpoint_monitor import EndpointMonitor
+from repro.monitor.store import HistoryStore
+from repro.monitor.task_monitor import TaskMonitor
+from repro.profiling.execution import ExecutionProfiler
+from repro.profiling.transfer import TransferProfiler
+from repro.sched import create_scheduler
+from repro.sched.base import Scheduler, SchedulingContext
+
+__all__ = ["ENDPOINT_HINT_KWARG", "ExecutionEngine"]
+
+#: Reserved keyword argument that pins a task to a specific endpoint,
+#: bypassing the scheduler (used by the elasticity experiments).
+ENDPOINT_HINT_KWARG = "unifaas_endpoint"
+
+
+class ExecutionEngine:
+    """Event-driven execution of a dynamic federated workflow."""
+
+    #: Consecutive no-progress rounds before the stall diagnosis runs.
+    stall_soft_rounds: int = 10
+    #: Hard ceiling on consecutive no-progress rounds.  The soft diagnosis
+    #: may legitimately wait (staged tasks are re-offered every pump), but a
+    #: workflow that makes no progress for this many rounds can never
+    #: recover — raise instead of spinning forever.
+    stall_hard_rounds: int = 1000
+
+    def __init__(
+        self,
+        config: Config,
+        fabric: ExecutionFabric,
+        *,
+        transfer_backend: Optional[TransferBackend] = None,
+        scheduler: Optional[Scheduler] = None,
+        scaling_strategy: Optional[ScalingStrategy] = None,
+        history_store: Optional[HistoryStore] = None,
+        metrics: Optional[MetricsCollector] = None,
+        scaling_check_interval_s: float = 10.0,
+    ) -> None:
+        self.config = config
+        self.fabric = fabric
+        self.clock = fabric.clock
+        self.graph = TaskGraph()
+        self.bus = EventBus()
+        self.index = TaskIndex()
+
+        # Monitors.
+        store = history_store or HistoryStore(config.history_db_path or ":memory:")
+        self.task_monitor = TaskMonitor(store)
+        self.endpoint_monitor = EndpointMonitor(
+            lambda name: fabric.endpoint_status(name),
+            self.clock,
+            sync_interval_s=config.endpoint_sync_interval_s,
+        )
+
+        # Profilers (warm-started from history when available).
+        self.execution_profiler = ExecutionProfiler(store if store.task_count() else None)
+        self.transfer_profiler = TransferProfiler(store if store.transfer_count() else None)
+        self.task_monitor.add_task_listener(self.execution_profiler.observe)
+
+        # Data manager.
+        backend = transfer_backend or LocalCopyTransferBackend(clock=self.clock)
+        self.data_manager = DataManager(
+            backend,
+            self.clock,
+            mechanism=config.transfer_mechanism,
+            max_concurrent_transfers=config.max_concurrent_transfers,
+            max_retries=config.max_transfer_retries,
+        )
+        self.data_manager.add_transfer_callback(self._on_transfer_result)
+
+        # Scheduler.
+        if scheduler is not None:
+            self.scheduler = scheduler
+        else:
+            kwargs = {}
+            if config.strategy == "DHA":
+                kwargs = dict(
+                    enable_delay_mechanism=config.enable_delay_mechanism,
+                    enable_rescheduling=config.enable_rescheduling,
+                )
+            self.scheduler = create_scheduler(config.strategy, **kwargs)
+
+        # Elasticity.
+        if scaling_strategy is not None:
+            self.scaling_strategy = scaling_strategy
+        elif config.enable_scaling:
+            caps = {
+                spec.endpoint: spec.max_workers
+                for spec in config.executors
+                if spec.max_workers is not None
+            }
+            self.scaling_strategy = DefaultScalingStrategy(caps=caps)
+        else:
+            self.scaling_strategy = NoScalingStrategy()
+
+        # Metrics.
+        self.metrics = metrics or MetricsCollector()
+
+        # Engine state.
+        self.context: Optional[SchedulingContext] = None
+        self._running = False
+
+        # Observers first: the subscription order reproduces the inline call
+        # order of the monolithic client (endpoint monitor, task monitor,
+        # metrics, scheduler, then the engine's own continuation).  Wiring
+        # lives here so repro.monitor / repro.metrics never depend upward on
+        # the engine package.
+        self.bus.subscribe(
+            TaskDispatched,
+            lambda e: self.endpoint_monitor.record_dispatch(e.endpoint, cores=e.cores),
+        )
+        self.bus.subscribe(
+            TaskCompleted,
+            lambda e: self.endpoint_monitor.record_completion(e.endpoint, cores=e.cores),
+        )
+        self.bus.subscribe(TaskCompleted, lambda e: self.task_monitor.observe_task(e.record))
+        self.bus.subscribe(
+            TaskCompleted,
+            lambda e: self.metrics.record_completion(
+                e.endpoint, e.record.function_name, e.record.success
+            ),
+        )
+        self.bus.subscribe(
+            TaskDispatched, lambda e: self.scheduler.on_task_dispatched(e.task, e.endpoint)
+        )
+        self.bus.subscribe(
+            TaskCompleted, lambda e: self.scheduler.on_task_completed(e.task, e.record)
+        )
+        self.bus.subscribe(CapacityChanged, lambda e: self.scheduler.on_capacity_changed())
+
+        # Coordinators (their constructors subscribe to the bus).
+        self.placement = PlacementCoordinator(self)
+        self.staging = StagingCoordinator(self)
+        self.dispatch = DispatchCoordinator(self)
+        self.failure = FailureCoordinator(self)
+        self.periodic = PeriodicCoordinator(self, scaling_check_interval_s)
+        self.bus.subscribe(TaskReady, self._on_task_ready)
+        self.bus.subscribe(TaskCompleted, self._on_task_completed)
+
+    # ------------------------------------------------------------- submission
+    def submit(self, fn: FederatedFunction, args: tuple, kwargs: Dict[str, Any]) -> UniFuture:
+        """Register one invocation of ``fn`` and return its future."""
+        kwargs = dict(kwargs)
+        endpoint_hint = kwargs.pop(ENDPOINT_HINT_KWARG, None)
+
+        dependencies: Set[str] = set()
+        input_files: List[RemoteFile] = []
+        for value in list(args) + list(kwargs.values()):
+            if isinstance(value, UniFuture) and value.task_id is not None:
+                dependencies.add(value.task_id)
+            elif isinstance(value, RemoteFile):
+                input_files.append(value)
+
+        task = Task(function=fn, args=args, kwargs=kwargs, dependencies=dependencies)
+        task.input_files = input_files
+        if endpoint_hint is not None:
+            task.assigned_endpoint = str(endpoint_hint)
+        self.graph.add_task(task, now=self.clock.now())
+
+        if task.state == TaskState.READY:
+            self.bus.publish(TaskReady.for_task(task, time=self.clock.now(), via="submit"))
+        if self._running:
+            self.scheduler.on_tasks_added([task])
+        return task.future
+
+    # -------------------------------------------------------------------- run
+    def run(self, max_wall_time_s: Optional[float] = None) -> None:
+        """Execute the composed workflow to completion.
+
+        Raises :class:`SchedulingError` if the workflow stalls (for example,
+        every endpoint lost all its workers and scaling is disabled).
+        """
+        if len(self.graph) == 0:
+            return
+        self._start()
+        wall_start = _time.monotonic()
+        stall_rounds = 0
+        while not self.graph.is_complete():
+            if max_wall_time_s is not None and _time.monotonic() - wall_start > max_wall_time_s:
+                raise SchedulingError(
+                    f"workflow exceeded the wall-time budget of {max_wall_time_s} s"
+                )
+            records = self.fabric.process()
+            for record in records:
+                self._handle_completion(record)
+            self.periodic.check()
+            progressed = self._pump()
+            if records or progressed or self.fabric.pending_work():
+                stall_rounds = 0
+                continue
+            stall_rounds += 1
+            if stall_rounds >= self.stall_hard_rounds:
+                raise SchedulingError(
+                    f"workflow made no progress for {stall_rounds} rounds; "
+                    f"task states: {self.graph.counts()}"
+                )
+            if stall_rounds > self.stall_soft_rounds:
+                self._diagnose_stall()
+        self.metrics.workflow_finished(self.clock.now())
+        self.fabric.flush()
+
+    def _start(self) -> None:
+        self._running = True
+        for name in self.fabric.endpoint_names():
+            if name not in self.endpoint_monitor.endpoint_names():
+                self.endpoint_monitor.register(name)
+        self.context = SchedulingContext(
+            graph=self.graph,
+            endpoint_monitor=self.endpoint_monitor,
+            execution_profiler=self.execution_profiler,
+            transfer_profiler=self.transfer_profiler,
+            data_manager=self.data_manager,
+            config=self.config,
+            clock=self.clock,
+            speed_factors={
+                name: self.fabric.speed_factor(name) for name in self.fabric.endpoint_names()
+            },
+        )
+        self.scheduler.initialize(self.context)
+        self.scheduler.on_workflow_submitted(self.graph.tasks())
+        self.metrics.workflow_started(self.clock.now())
+        self.periodic.sample_metrics(force=True)
+
+    def _diagnose_stall(self) -> None:
+        staged = self.graph.state_count(TaskState.STAGED)
+        if staged and not self.config.enable_delay_mechanism:
+            return  # dispatch will be retried on the next pump
+        if staged:
+            # Delay mechanism with nothing running anywhere: force dispatch so
+            # the workflow cannot deadlock on an empty pool.
+            forced = self.dispatch.dispatch_staged(force=True)
+            if forced:
+                return
+        counts = self.graph.counts()
+        raise SchedulingError(f"workflow stalled; task states: {counts}")
+
+    # ------------------------------------------------------------------ pump
+    def _pump(self) -> bool:
+        """One round of scheduling, staging and dispatching.
+
+        Returns True when any task changed state (used for stall detection).
+        """
+        progressed = False
+        progressed |= self.placement.schedule_ready()
+        progressed |= self.dispatch.dispatch_staged()
+        self.fabric.flush()
+        return progressed
+
+    # ---------------------------------------------------------------- events
+    def _on_task_ready(self, event: TaskReady) -> None:
+        task = event.task
+        if self.staging.augment_input_files(task) and self.context is not None:
+            # The task's input size just changed: its own cached estimates
+            # are stale, and so are its successors' — while this task has no
+            # outputs yet, their estimates predict its output *from its input
+            # size* (SchedulingContext.estimated_input_mb's fallback path).
+            self.context.invalidate_task(task.task_id)
+            for successor in self.graph.successors(task.task_id):
+                self.context.invalidate_task(successor.task_id)
+        if event.via == "submit" or task.assigned_endpoint is None:
+            # Queue for the next scheduling round; endpoint-pinned tasks
+            # submitted up-front join the queue too and bypass the scheduler
+            # when the round runs.
+            self.placement.enqueue(task)
+        else:
+            # Endpoint-pinned task unlocked mid-run: go straight to staging.
+            self.bus.publish(
+                TaskPlaced.for_task(task, time=event.time, endpoint=task.assigned_endpoint)
+            )
+
+    def _handle_completion(self, record: TaskExecutionRecord) -> None:
+        task = self.graph.get(record.task_id)
+        self.bus.publish(
+            TaskCompleted.for_task(
+                task,
+                time=self.clock.now(),
+                endpoint=record.endpoint,
+                cores=task.sim_profile.cores,
+                record=record,
+            )
+        )
+
+    def _on_task_completed(self, event: TaskCompleted) -> None:
+        """Engine continuation: runs after every completion observer."""
+        task, record = event.task, event.record
+        if not record.success:
+            self.failure.handle_execution_failure(task, record)
+            return
+
+        task.timestamps.started = record.started_at
+        # Register output data produced on the endpoint.
+        task.output_files = []
+        result_value: Any = record.result
+        if record.output_mb > 0:
+            file_cls = RsyncFile if self.config.transfer_mechanism == "rsync" else GlobusFile
+            output = file_cls(
+                f"{task.task_id}.out", size_mb=record.output_mb, location=record.endpoint
+            )
+            task.output_files.append(output)
+            if result_value is None:
+                result_value = output
+        if isinstance(record.result, RemoteFile):
+            self.data_manager.register_output(record.result, record.endpoint)
+            task.output_files.append(record.result)
+
+        task.result = result_value
+        if self.context is not None:
+            # Evict the finished task's own entries (never queried again in a
+            # static DAG) so the caches stay bounded by the live task set.
+            self.context.invalidate_task(task.task_id)
+            if task.output_files:
+                # A completed task with output changes its consumers'
+                # input-size estimates (they now see real files instead of
+                # predictions); a task without output leaves them on the
+                # prediction path, whose cached value is still exact.
+                for successor in self.graph.successors(task.task_id):
+                    self.context.invalidate_task(successor.task_id)
+        newly_ready = self.graph.mark_completed(task.task_id, now=record.completed_at)
+        task.future.set_result(result_value)
+        for ready_task in newly_ready:
+            self.bus.publish(
+                TaskReady.for_task(ready_task, time=self.clock.now(), via="dependencies")
+            )
+
+    def _on_transfer_result(self, result: TransferResult, concurrency: int) -> None:
+        self.task_monitor.observe_transfer(result, concurrency)
+        self.transfer_profiler.observe(result, concurrency)

@@ -1,0 +1,87 @@
+"""Dispatch coordinator — delay-mechanism gating and fabric submission.
+
+Staged tasks wait in per-endpoint client queues.  Each pump round the
+coordinator walks every queue head and asks the scheduler whether the task
+may leave (DHA's delay mechanism hooks in through
+:meth:`~repro.sched.base.Scheduler.should_dispatch`); dispatching builds the
+execution request, submits it to the fabric and announces a
+:class:`~repro.engine.events.TaskDispatched` event, which the endpoint
+monitor (mock update) and the scheduler (claim release) subscribe to.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import TYPE_CHECKING, Deque, Dict
+
+from repro.core.dag import Task, TaskState
+from repro.core.exceptions import UniFaaSError
+from repro.engine.events import StagingDone, TaskDispatched
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.core import ExecutionEngine
+
+__all__ = ["DispatchCoordinator"]
+
+
+class DispatchCoordinator:
+    """Owns the per-endpoint staged queues and the fabric hand-off."""
+
+    def __init__(self, engine: "ExecutionEngine") -> None:
+        self._engine = engine
+        self._staged_queues: Dict[str, Deque[str]] = defaultdict(deque)
+        engine.bus.subscribe(StagingDone, self._on_staging_done)
+
+    # ---------------------------------------------------------------- events
+    def _on_staging_done(self, event: StagingDone) -> None:
+        if event.failed:
+            return  # the failure coordinator owns this outcome
+        self._staged_queues[event.endpoint].append(event.task_id)
+
+    # ------------------------------------------------------------------ pump
+    def dispatch_staged(self, force: bool = False) -> bool:
+        """Dispatch queue heads the scheduler clears; True when any left."""
+        engine = self._engine
+        dispatched_any = False
+        for endpoint, queue in self._staged_queues.items():
+            while queue:
+                task_id = queue[0]
+                if task_id not in engine.graph:
+                    queue.popleft()
+                    continue
+                task = engine.graph.get(task_id)
+                if task.state != TaskState.STAGED or task.assigned_endpoint != endpoint:
+                    # Task was re-scheduled elsewhere or already handled.
+                    queue.popleft()
+                    continue
+                if not force and not engine.scheduler.should_dispatch(task):
+                    break
+                queue.popleft()
+                self.dispatch(task)
+                dispatched_any = True
+        return dispatched_any
+
+    def dispatch(self, task: Task) -> None:
+        engine = self._engine
+        endpoint = task.assigned_endpoint
+        resolved_args, resolved_kwargs = None, None
+        if task.function.callable is not None and task.sim_profile is not None:
+            # Resolve future arguments for real (local) execution; harmless in
+            # simulation mode where the callable is never invoked.
+            try:
+                resolved_args, resolved_kwargs = task.resolved_args(engine.graph)
+            except UniFaaSError:
+                resolved_args, resolved_kwargs = task.args, dict(task.kwargs)
+        request = engine.fabric.build_request(task, resolved_args, resolved_kwargs)
+        task.attempts += 1
+        engine.graph.set_state(task.task_id, TaskState.DISPATCHED, now=engine.clock.now())
+        engine.index.clear_undispatched(task.task_id)
+        engine.fabric.submit(endpoint, request)
+        engine.bus.publish(
+            TaskDispatched.for_task(
+                task,
+                time=engine.clock.now(),
+                endpoint=endpoint,
+                cores=task.sim_profile.cores,
+            )
+        )

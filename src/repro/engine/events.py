@@ -1,0 +1,144 @@
+"""Typed task-lifecycle events exchanged on the engine's :class:`EventBus`.
+
+Every state transition a task makes through the UniFaaS pipeline (Figs. 2–4)
+is announced as one of these events:
+
+====================  =====================================================
+:class:`TaskReady`    all dependencies completed; the task may be scheduled
+:class:`TaskPlaced`   the scheduler (or a pin / retry) chose an endpoint
+:class:`StagingDone`  the data manager finished staging the task's inputs
+:class:`TaskDispatched`  the task was submitted to the execution fabric
+:class:`TaskCompleted`   the fabric returned an execution record
+:class:`TaskFailed`      the task is terminally failed (§IV-G exhausted)
+:class:`CapacityChanged` the endpoint monitor re-synchronised capacity
+====================  =====================================================
+
+Events are small frozen dataclasses.  They carry the :class:`Task` object
+for in-process consumers (``repr``-suppressed), plus the stable identifying
+fields — function name, endpoint — that event logs and the cross-fabric
+parity tests compare on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.dag import Task
+from repro.faas.types import TaskExecutionRecord
+
+__all__ = [
+    "CapacityChanged",
+    "Event",
+    "StagingDone",
+    "TaskCompleted",
+    "TaskDispatched",
+    "TaskEvent",
+    "TaskFailed",
+    "TaskPlaced",
+    "TaskReady",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of every engine event."""
+
+    #: Clock reading when the event was published (simulated or wall time).
+    time: float
+
+    def describe(self) -> Tuple:
+        """Stable identity tuple used by event logs and parity tests."""
+        return (type(self).__name__,)
+
+
+@dataclass(frozen=True)
+class TaskEvent(Event):
+    """An event about one task."""
+
+    task: Task = field(repr=False, compare=False)
+    task_id: str = ""
+    #: Function name — stable across runs (task ids are process-global).
+    name: str = ""
+
+    @classmethod
+    def for_task(cls, task: Task, time: float, **fields):
+        return cls(time=time, task=task, task_id=task.task_id, name=task.name, **fields)
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.name)
+
+
+@dataclass(frozen=True)
+class TaskReady(TaskEvent):
+    """All dependencies completed (or the task had none at submission)."""
+
+    #: ``"submit"`` when the task was ready at submission time,
+    #: ``"dependencies"`` when the final dependency just completed.
+    via: str = "submit"
+
+
+@dataclass(frozen=True)
+class TaskPlaced(TaskEvent):
+    """An endpoint was selected: by the scheduler, a pin, or fault recovery."""
+
+    endpoint: str = ""
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.name, self.endpoint)
+
+
+@dataclass(frozen=True)
+class StagingDone(TaskEvent):
+    """The data manager finished (or abandoned) staging the task's inputs."""
+
+    endpoint: str = ""
+    failed: bool = False
+    ticket_id: str = ""
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.name, self.endpoint, self.failed)
+
+
+@dataclass(frozen=True)
+class TaskDispatched(TaskEvent):
+    """The task left the client queue for the execution fabric."""
+
+    endpoint: str = ""
+    cores: int = 1
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.name, self.endpoint)
+
+
+@dataclass(frozen=True)
+class TaskCompleted(TaskEvent):
+    """The fabric returned an execution record (successful or not)."""
+
+    endpoint: str = ""
+    cores: int = 1
+    record: Optional[TaskExecutionRecord] = field(default=None, repr=False, compare=False)
+
+    @property
+    def success(self) -> bool:
+        return bool(self.record and self.record.success)
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.name, self.endpoint, self.success)
+
+
+@dataclass(frozen=True)
+class TaskFailed(TaskEvent):
+    """The task failed terminally — every retry/reassignment was exhausted."""
+
+    endpoint: Optional[str] = None
+    error: str = ""
+    attempts: int = 0
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.name)
+
+
+@dataclass(frozen=True)
+class CapacityChanged(Event):
+    """The endpoint monitor re-synchronised its mocks with the service."""

@@ -1,0 +1,104 @@
+"""Failure coordinator — the fault-tolerance policy of §IV-G.
+
+Execution failures walk a three-step ladder:
+
+1. **retry** — while ``attempts <= max_task_retries`` the task is re-staged
+   to the endpoint the scheduler chose (its data is already there);
+2. **reassign** — afterwards it moves to the most *reliable* endpoint (by
+   observed success rate) that has not failed it yet;
+3. **fail** — when every endpoint failed it, the task is terminal and its
+   future carries a :class:`~repro.core.exceptions.TaskFailedError`.
+
+Staging failures (the data manager exhausted its transfer retries) are
+terminal immediately and carry a
+:class:`~repro.core.exceptions.TransferFailedError`.
+
+Either terminal outcome is announced as a
+:class:`~repro.engine.events.TaskFailed` event.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.dag import Task, TaskState
+from repro.core.exceptions import TaskFailedError, TransferFailedError
+from repro.engine.events import StagingDone, TaskFailed, TaskPlaced
+from repro.faas.types import TaskExecutionRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.core import ExecutionEngine
+
+__all__ = ["FailureCoordinator"]
+
+
+class FailureCoordinator:
+    """Retry, reassign, then fail (§IV-G)."""
+
+    def __init__(self, engine: "ExecutionEngine") -> None:
+        self._engine = engine
+        engine.bus.subscribe(StagingDone, self._on_staging_done)
+
+    # ------------------------------------------------------ staging failures
+    def _on_staging_done(self, event: StagingDone) -> None:
+        if not event.failed:
+            return
+        engine = self._engine
+        task = event.task
+        engine.index.clear_undispatched(task.task_id)
+        if engine.context is not None:
+            engine.context.invalidate_task(task.task_id)
+        engine.graph.set_state(task.task_id, TaskState.FAILED, now=engine.clock.now())
+        error = TransferFailedError(
+            event.ticket_id, "unknown", event.endpoint, engine.config.max_transfer_retries
+        )
+        task.future.set_exception(error)
+        engine.bus.publish(
+            TaskFailed.for_task(
+                task,
+                time=engine.clock.now(),
+                endpoint=event.endpoint,
+                error=str(error),
+                attempts=task.attempts,
+            )
+        )
+
+    # ---------------------------------------------------- execution failures
+    def handle_execution_failure(self, task: Task, record: TaskExecutionRecord) -> None:
+        """Apply the retry / reassign / fail ladder to a failed execution."""
+        engine = self._engine
+        # Record when the failed attempt actually started so retry latency is
+        # measurable (the success path records it in the completion handler).
+        task.timestamps.started = record.started_at
+        endpoint = record.endpoint
+        if endpoint not in task.failed_endpoints:
+            task.failed_endpoints.append(endpoint)
+        all_endpoints = engine.fabric.endpoint_names()
+
+        if task.attempts <= engine.config.max_task_retries:
+            # Retry on the endpoint chosen by the scheduler (data already there).
+            retry_endpoint = endpoint
+        else:
+            candidates = [e for e in all_endpoints if e not in task.failed_endpoints]
+            if not candidates:
+                if engine.context is not None:
+                    engine.context.invalidate_task(task.task_id)
+                engine.graph.set_state(task.task_id, TaskState.FAILED, now=engine.clock.now())
+                error = TaskFailedError(
+                    task.task_id, record.error or "unknown error", task.attempts
+                )
+                task.future.set_exception(error)
+                engine.bus.publish(
+                    TaskFailed.for_task(
+                        task,
+                        time=engine.clock.now(),
+                        endpoint=endpoint,
+                        error=str(error),
+                        attempts=task.attempts,
+                    )
+                )
+                return
+            retry_endpoint = engine.task_monitor.most_reliable_endpoint(candidates)
+        engine.bus.publish(
+            TaskPlaced.for_task(task, time=engine.clock.now(), endpoint=retry_endpoint)
+        )

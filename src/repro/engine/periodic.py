@@ -1,0 +1,141 @@
+"""Periodic coordinator — everything the engine does on a cadence (§IV-B/D/H).
+
+Four independent timers, all driven by the engine clock so they behave
+identically under the simulated and wall clocks:
+
+* **endpoint sync** — re-synchronise the endpoint monitor's mocks with the
+  (possibly stale) service view and announce
+  :class:`~repro.engine.events.CapacityChanged`;
+* **profiler refresh** — retrain the execution/transfer models on the
+  observations streamed in since the last refresh;
+* **re-scheduling** — offer the not-yet-dispatched tasks back to the
+  scheduler (DHA's task stealing, §IV-D);
+* **scaling** — let the elasticity strategy request workers (§IV-H);
+
+plus the metrics sampler, which reads the per-endpoint pending counts
+straight from the incremental :class:`~repro.engine.state.TaskIndex` instead
+of re-scanning every undispatched task.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import TYPE_CHECKING
+
+from repro.core.dag import TaskState
+from repro.elastic.scaling import EndpointView
+from repro.engine.events import CapacityChanged, TaskPlaced
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.core import ExecutionEngine
+
+__all__ = ["PeriodicCoordinator"]
+
+#: Undispatched states eligible for a re-scheduling pass.
+_RESCHEDULABLE = (TaskState.SCHEDULED, TaskState.STAGING, TaskState.STAGED)
+
+
+class PeriodicCoordinator:
+    """Runs the engine's periodic duties when their intervals elapse."""
+
+    def __init__(self, engine: "ExecutionEngine", scaling_check_interval_s: float) -> None:
+        self._engine = engine
+        self.scaling_check_interval_s = scaling_check_interval_s
+        self._last_profiler_update = 0.0
+        self._last_endpoint_sync = 0.0
+        self._last_reschedule = 0.0
+        self._last_scaling_check = 0.0
+        self._last_metrics_sample = 0.0
+
+    # ------------------------------------------------------------------ tick
+    def check(self) -> None:
+        engine = self._engine
+        now = engine.clock.now()
+        if now - self._last_endpoint_sync >= engine.config.endpoint_sync_interval_s:
+            self._last_endpoint_sync = now
+            engine.endpoint_monitor.synchronize()
+            engine.bus.publish(CapacityChanged(time=now))
+        if now - self._last_profiler_update >= engine.config.profiler_update_interval_s:
+            self._last_profiler_update = now
+            retrained = engine.execution_profiler.update_models()
+            engine.transfer_profiler.update_models()
+            if retrained and engine.context is not None:
+                # Stale entries would be rejected lazily by their generation
+                # stamp anyway; dropping them eagerly frees the memory.
+                engine.context.invalidate_predictions()
+        if (
+            engine.scheduler.supports_rescheduling
+            and now - self._last_reschedule >= engine.config.rescheduling_interval_s
+        ):
+            self._last_reschedule = now
+            self.run_rescheduling()
+        if now - self._last_scaling_check >= self.scaling_check_interval_s:
+            self._last_scaling_check = now
+            self.run_scaling()
+        if now - self._last_metrics_sample >= engine.metrics.sample_interval_s:
+            self.sample_metrics()
+
+    # ---------------------------------------------------------- re-scheduling
+    def run_rescheduling(self) -> None:
+        engine = self._engine
+        graph = engine.graph
+        candidates = [
+            graph.get(task_id)
+            for task_id in engine.index.undispatched_ids()
+            if task_id in graph and graph.get(task_id).state in _RESCHEDULABLE
+        ]
+        if not candidates:
+            return
+        t0 = _time.perf_counter()
+        moves = engine.scheduler.reschedule(candidates)
+        engine.metrics.record_scheduling_overhead(_time.perf_counter() - t0, len(moves))
+        for move in moves:
+            task = graph.get(move.task_id)
+            if task.assigned_endpoint == move.endpoint:
+                continue
+            task.reschedule_count += 1
+            engine.metrics.record_reschedule()
+            # Announce the new endpoint selection; the staging coordinator
+            # re-stages toward the new target (already-arrived replicas at
+            # the old endpoint remain reusable).
+            engine.bus.publish(
+                TaskPlaced.for_task(task, time=engine.clock.now(), endpoint=move.endpoint)
+            )
+
+    # ---------------------------------------------------------------- scaling
+    def run_scaling(self) -> None:
+        engine = self._engine
+        pending = (
+            engine.index.queued_count
+            + engine.graph.state_count(TaskState.SCHEDULED)
+            + engine.graph.state_count(TaskState.STAGING)
+            + engine.graph.state_count(TaskState.STAGED)
+        )
+        views = {}
+        for name in engine.fabric.endpoint_names():
+            mock = engine.endpoint_monitor.mock(name)
+            views[name] = EndpointView(
+                name=name,
+                active_workers=mock.active_workers,
+                idle_workers=mock.idle_workers,
+                outstanding_tasks=mock.outstanding_tasks,
+                max_workers=mock.max_workers,
+            )
+        decision = engine.scaling_strategy.decide(pending, views)
+        for name, workers in decision.workers_to_request.items():
+            if workers > 0:
+                engine.fabric.request_workers(name, workers)
+
+    # ---------------------------------------------------------------- metrics
+    def sample_metrics(self, force: bool = False) -> None:
+        engine = self._engine
+        now = engine.clock.now()
+        if not force and now - self._last_metrics_sample < engine.metrics.sample_interval_s:
+            return
+        self._last_metrics_sample = now
+        engine.metrics.sample(
+            now,
+            engine.fabric.worker_snapshot(),
+            engine.data_manager.active_staging_tasks(),
+            engine.index.undispatched_by_endpoint(),
+        )

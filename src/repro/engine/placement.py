@@ -1,0 +1,71 @@
+"""Placement coordinator — offering ready tasks to the scheduler.
+
+One pump round of the engine offers every queued ready task to the scheduler
+(the observe–predict–decide loop of §IV-D) and announces each decision as a
+:class:`~repro.engine.events.TaskPlaced` event.  Endpoint-pinned tasks (the
+``unifaas_endpoint`` hint) bypass the scheduler entirely.
+
+The queue is an insertion-ordered index: placed tasks are deleted in O(1)
+each instead of rebuilding the whole deque per round as the monolithic
+client did.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import TYPE_CHECKING
+
+from repro.core.dag import Task, TaskState
+from repro.engine.events import TaskPlaced
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.core import ExecutionEngine
+
+__all__ = ["PlacementCoordinator"]
+
+
+class PlacementCoordinator:
+    """Turns ready tasks into endpoint placements."""
+
+    def __init__(self, engine: "ExecutionEngine") -> None:
+        self._engine = engine
+
+    def enqueue(self, task: Task) -> None:
+        self._engine.index.enqueue(task)
+
+    def schedule_ready(self) -> bool:
+        """Offer queued ready tasks to the scheduler; True when any placed."""
+        engine = self._engine
+        index = engine.index
+        if not index.queued_count:
+            return False
+        candidates = [t for t in index.queued_tasks() if t.state == TaskState.READY]
+        if not candidates:
+            return False
+
+        # Endpoint-pinned tasks bypass the scheduler entirely.
+        pinned = [t for t in candidates if t.assigned_endpoint is not None]
+        unpinned = [t for t in candidates if t.assigned_endpoint is None]
+
+        placements = []
+        if unpinned:
+            t0 = _time.perf_counter()
+            placements = engine.scheduler.schedule(unpinned)
+            engine.metrics.record_scheduling_overhead(
+                _time.perf_counter() - t0, len(placements) or len(unpinned)
+            )
+
+        placed = 0
+        now = engine.clock.now()
+        for placement in placements:
+            task = engine.graph.get(placement.task_id)
+            index.remove_queued(task.task_id)
+            engine.bus.publish(TaskPlaced.for_task(task, time=now, endpoint=placement.endpoint))
+            placed += 1
+        for task in pinned:
+            index.remove_queued(task.task_id)
+            engine.bus.publish(
+                TaskPlaced.for_task(task, time=now, endpoint=task.assigned_endpoint)
+            )
+            placed += 1
+        return placed > 0

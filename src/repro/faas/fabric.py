@@ -61,6 +61,9 @@ class ExecutionFabric(ABC):
     def flush(self) -> None:
         """Force any batched submissions out (no-op by default)."""
 
+    def shutdown(self) -> None:
+        """Release fabric resources (worker pools, ...); no-op by default."""
+
     @abstractmethod
     def process(self, timeout_s: Optional[float] = None) -> List[TaskExecutionRecord]:
         """Advance the fabric and return newly completed execution records."""

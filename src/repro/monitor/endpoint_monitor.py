@@ -65,8 +65,18 @@ class MockEndpoint:
         else:
             self.busy_workers = max(0, self.busy_workers - cores)
 
-    def synchronize(self, status: EndpointStatus, now: float) -> None:
-        """Overwrite the mock with a fresh service snapshot."""
+    def synchronize(self, status: EndpointStatus, now: float) -> bool:
+        """Overwrite the mock with a fresh service snapshot.
+
+        Returns True when the *hardware* features changed — capacity counters
+        change on every sync, but consumers memoizing hardware-dependent
+        predictions only need to know about hardware changes.
+        """
+        hardware_changed = (
+            self.cores_per_node != status.cores_per_node
+            or self.cpu_freq_ghz != status.cpu_freq_ghz
+            or self.ram_gb != status.ram_gb
+        )
         self.active_workers = status.active_workers
         self.busy_workers = status.busy_workers
         self.pending_tasks = status.pending_tasks
@@ -76,6 +86,7 @@ class MockEndpoint:
         self.ram_gb = status.ram_gb
         self.online = status.online
         self.last_synced_at = now
+        return hardware_changed
 
 
 class EndpointMonitor:
@@ -99,6 +110,10 @@ class EndpointMonitor:
         self.mocking_enabled = mocking_enabled
         self._mocks: Dict[str, MockEndpoint] = {}
         self.sync_count = 0
+        #: Bumped when a synchronisation changed some endpoint's *hardware*
+        #: features (cores/frequency/RAM) — the generation stamp for caches
+        #: of hardware-dependent predictions.
+        self.hardware_version = 0
 
     # ----------------------------------------------------------- registration
     def register(self, endpoint_name: str) -> MockEndpoint:
@@ -120,7 +135,8 @@ class EndpointMonitor:
         except KeyError:
             raise EndpointError(f"endpoint {endpoint_name!r} is not monitored") from None
         if not self.mocking_enabled:
-            mock.synchronize(self._status_provider(endpoint_name), self._clock.now())
+            if mock.synchronize(self._status_provider(endpoint_name), self._clock.now()):
+                self.hardware_version += 1
         return mock
 
     # --------------------------------------------------------------- updates
@@ -135,7 +151,8 @@ class EndpointMonitor:
         now = self._clock.now()
         for name, mock in self._mocks.items():
             if force or now - mock.last_synced_at >= self.sync_interval_s:
-                mock.synchronize(self._status_provider(name), now)
+                if mock.synchronize(self._status_provider(name), now):
+                    self.hardware_version += 1
                 self.sync_count += 1
 
     # ---------------------------------------------------------------- queries

@@ -93,6 +93,12 @@ class ExecutionProfiler:
         self.min_samples_to_train = min_samples_to_train
         self.max_training_samples = max_training_samples
         self.update_count = 0
+        #: Monotonic counter bumped whenever any prediction may have changed:
+        #: on every retrain, and on warm-up observations (an untrained model
+        #: predicts the running mean of its samples, which shifts per
+        #: observation).  Consumers memoizing predictions — the scheduling
+        #: context — stamp cache entries with this version.
+        self.prediction_version = 0
         if store is not None:
             self.load_history(store)
 
@@ -111,26 +117,25 @@ class ExecutionProfiler:
         """Ingest a live execution record from the task monitor."""
         if not record.success:
             return
-        features = (
-            record.input_mb,
-            float(record.cores_per_node),
-            record.cpu_freq_ghz,
-            record.ram_gb,
-        )
-        self._models[record.function_name].add(
-            features, record.execution_time_s, record.output_mb
-        )
+        self._add_sample(record)
 
     def _observe_record(self, record: TaskRecord) -> None:
+        self._add_sample(record)
+
+    def _add_sample(self, record) -> None:
+        """Add one observation (live or historical record, same fields)."""
         features = (
             record.input_mb,
             float(record.cores_per_node),
             record.cpu_freq_ghz,
             record.ram_gb,
         )
-        self._models[record.function_name].add(
-            features, record.execution_time_s, record.output_mb
-        )
+        model = self._models[record.function_name]
+        model.add(features, record.execution_time_s, record.output_mb)
+        if model.trained_on == 0:
+            # An untrained model predicts the running mean of its samples, so
+            # every warm-up observation shifts its predictions.
+            self.prediction_version += 1
 
     def update_models(self, force: bool = False) -> int:
         """(Re)train models that accumulated new observations.
@@ -147,6 +152,7 @@ class ExecutionProfiler:
                 retrained += 1
         if retrained:
             self.update_count += 1
+            self.prediction_version += 1
         return retrained
 
     # ------------------------------------------------------------- prediction

@@ -12,8 +12,8 @@ manager — exactly the observe–predict–decide loop of the paper.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import Config
 from repro.core.dag import Task, TaskGraph
@@ -39,7 +39,19 @@ class Placement:
 
 @dataclass
 class SchedulingContext:
-    """Everything a scheduler may consult when deciding placements."""
+    """Everything a scheduler may consult when deciding placements.
+
+    The two prediction entry points the schedulers hammer hardest —
+    :meth:`predicted_execution_time` and :meth:`estimated_input_mb`, which
+    DHA evaluates per task × endpoint on every priority and placement round
+    — are memoized.  Cache entries carry a *generation stamp* derived from
+    the execution profiler's prediction version and the endpoint monitor's
+    hardware version, so a profiler retrain (or warm-up observation) and a
+    hardware-feature change invalidate them lazily without any bookkeeping
+    on the hot path (ordinary capacity syncs do not: predictions only read
+    hardware features); the engine additionally invalidates a task's entries
+    eagerly when its input files change, keeping invalidation O(changed).
+    """
 
     graph: TaskGraph
     endpoint_monitor: EndpointMonitor
@@ -52,9 +64,43 @@ class SchedulingContext:
     #: the execution profiler has no observations yet).
     speed_factors: Dict[str, float]
 
+    # Memoization state (see class docstring).
+    _exec_cache: Dict[Tuple[str, str, float], Tuple[float, Tuple[int, int]]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _exec_keys_by_task: Dict[str, List[Tuple[str, str, float]]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _input_cache: Dict[str, Tuple[float, Tuple[int, int]]] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    #: Hit/miss counters for :meth:`predicted_execution_time` (benchmarks
+    #: assert on the hit rate).
+    exec_cache_hits: int = field(init=False, default=0)
+    exec_cache_misses: int = field(init=False, default=0)
+
     # ------------------------------------------------------------ conveniences
     def endpoint_names(self) -> List[str]:
         return self.endpoint_monitor.endpoint_names()
+
+    # ------------------------------------------------------------ memoization
+    def _prediction_generation(self) -> Tuple[int, int]:
+        return (
+            getattr(self.execution_profiler, "prediction_version", 0),
+            getattr(self.endpoint_monitor, "hardware_version", 0),
+        )
+
+    def invalidate_task(self, task_id: str) -> None:
+        """Drop cached predictions for one task (a dependency completed)."""
+        self._input_cache.pop(task_id, None)
+        for key in self._exec_keys_by_task.pop(task_id, ()):
+            self._exec_cache.pop(key, None)
+
+    def invalidate_predictions(self) -> None:
+        """Drop every cached prediction (profiler retrained, hardware changed)."""
+        self._exec_cache.clear()
+        self._exec_keys_by_task.clear()
+        self._input_cache.clear()
 
     def estimated_input_mb(self, task: Task) -> float:
         """Best estimate of a task's input data volume.
@@ -63,34 +109,55 @@ class SchedulingContext:
         completed); otherwise falls back to the execution profiler's
         predicted output sizes of the task's predecessors.
         """
+        generation = self._prediction_generation()
+        cached = self._input_cache.get(task.task_id)
+        if cached is not None and cached[1] == generation:
+            return cached[0]
         if task.input_files:
-            return task.input_size_mb
-        total = 0.0
-        for parent in self.graph.predecessors(task.task_id):
-            if parent.output_files:
-                total += sum(getattr(f, "size_mb", 0.0) for f in parent.output_files)
-            else:
-                hardware = (1.0, 1.0, 1.0)
-                total += self.execution_profiler.predict_output_mb(
-                    parent.name, parent.input_size_mb, hardware, default=0.0
-                )
+            total = task.input_size_mb
+        else:
+            total = 0.0
+            for parent in self.graph.predecessors(task.task_id):
+                if parent.output_files:
+                    total += sum(getattr(f, "size_mb", 0.0) for f in parent.output_files)
+                else:
+                    hardware = (1.0, 1.0, 1.0)
+                    total += self.execution_profiler.predict_output_mb(
+                        parent.name, parent.input_size_mb, hardware, default=0.0
+                    )
+        self._input_cache[task.task_id] = (total, generation)
         return total
 
     def predicted_execution_time(self, task: Task, endpoint: str, default: float = 1.0) -> float:
         """Predicted execution time of ``task`` on ``endpoint`` (seconds)."""
+        # Query the mock before the generation check: with mocking disabled
+        # it re-reads the (possibly changed) service status and bumps the
+        # hardware version, so a stale entry cannot slip past the stamp.
+        # With mocking enabled this is a plain dict lookup.
         mock = self.endpoint_monitor.mock(endpoint)
+        generation = self._prediction_generation()
+        key = (task.task_id, endpoint, default)
+        cached = self._exec_cache.get(key)
+        if cached is not None and cached[1] == generation:
+            self.exec_cache_hits += 1
+            return cached[0]
+        self.exec_cache_misses += 1
         predicted = self.execution_profiler.predict_execution_time(
             task.name,
             self.estimated_input_mb(task),
             mock.hardware_features(),
             default=None,
         )
-        if predicted is not None:
-            return predicted
-        # No observations yet: scale the default by relative hardware speed so
-        # heterogeneity-aware decisions remain sensible during warm-up.
-        speed = self.speed_factors.get(endpoint, 1.0)
-        return default / max(speed, 1e-9)
+        if predicted is None:
+            # No observations yet: scale the default by relative hardware
+            # speed so heterogeneity-aware decisions remain sensible during
+            # warm-up.
+            speed = self.speed_factors.get(endpoint, 1.0)
+            predicted = default / max(speed, 1e-9)
+        if cached is None:
+            self._exec_keys_by_task.setdefault(task.task_id, []).append(key)
+        self._exec_cache[key] = (predicted, generation)
+        return predicted
 
     def predicted_staging_time(self, task: Task, endpoint: str) -> float:
         """Predicted time to stage the task's missing inputs onto ``endpoint``."""

@@ -1,0 +1,155 @@
+"""EventBus semantics: ordering, cascades, and run-to-run determinism."""
+
+import pytest
+
+from repro.core.functions import SimProfile, function
+from repro.engine.bus import EventBus
+from repro.engine.events import CapacityChanged, Event, TaskReady
+
+from tests.integration.conftest import build_two_site_env
+
+
+class TestSubscriptionOrdering:
+    def test_handlers_run_in_subscription_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(CapacityChanged, lambda e: calls.append("first"))
+        bus.subscribe(CapacityChanged, lambda e: calls.append("second"))
+        bus.subscribe(CapacityChanged, lambda e: calls.append("third"))
+        bus.publish(CapacityChanged(time=0.0))
+        assert calls == ["first", "second", "third"]
+
+    def test_subscribe_all_runs_before_typed_handlers(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(CapacityChanged, lambda e: calls.append("typed"))
+        bus.subscribe_all(lambda e: calls.append("all"))
+        bus.publish(CapacityChanged(time=0.0))
+        assert calls == ["all", "typed"]
+
+    def test_handlers_only_receive_their_exact_type(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(CapacityChanged, lambda e: calls.append(type(e).__name__))
+        bus.publish(CapacityChanged(time=0.0))
+        assert calls == ["CapacityChanged"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        calls = []
+        handler = bus.subscribe(CapacityChanged, lambda e: calls.append(1))
+        assert bus.unsubscribe(CapacityChanged, handler)
+        assert not bus.unsubscribe(CapacityChanged, handler)
+        bus.publish(CapacityChanged(time=0.0))
+        assert calls == []
+
+    def test_subscribe_rejects_non_event_types(self):
+        bus = EventBus()
+        with pytest.raises(TypeError):
+            bus.subscribe(int, lambda e: None)
+
+
+class TestCascades:
+    def test_nested_publish_is_fifo_not_recursive(self):
+        bus = EventBus()
+        order = []
+
+        def first(event):
+            order.append("outer-first")
+            if event.time == 0.0:
+                bus.publish(CapacityChanged(time=1.0))
+            order.append("outer-after-publish")
+
+        def second(event):
+            order.append(f"outer-second@{event.time}")
+
+        bus.subscribe(CapacityChanged, first)
+        bus.subscribe(CapacityChanged, second)
+        bus.publish(CapacityChanged(time=0.0))
+        # The nested event is delivered only after every handler of the
+        # in-flight event ran — breadth-first, not depth-first.
+        assert order == [
+            "outer-first",
+            "outer-after-publish",
+            "outer-second@0.0",
+            "outer-first",
+            "outer-after-publish",
+            "outer-second@1.0",
+        ]
+
+    def test_published_count_tracks_deliveries(self):
+        bus = EventBus()
+        bus.publish(CapacityChanged(time=0.0))
+        bus.publish(CapacityChanged(time=1.0))
+        assert bus.published_count == 2
+
+    def test_handler_failure_drops_undelivered_cascade(self):
+        bus = EventBus()
+        delivered = []
+
+        def exploding(event):
+            bus.publish(CapacityChanged(time=99.0))  # would be delivered later
+            raise RuntimeError("handler broke")
+
+        bus.subscribe(CapacityChanged, lambda e: delivered.append(e.time))
+        handler = bus.subscribe(CapacityChanged, exploding)
+        with pytest.raises(RuntimeError):
+            bus.publish(CapacityChanged(time=0.0))
+        # The queued cascade event must not replay on the next publish.
+        bus.unsubscribe(CapacityChanged, handler)
+        bus.publish(CapacityChanged(time=1.0))
+        assert delivered == [0.0, 1.0]
+
+
+@function(sim_profile=SimProfile(base_time_s=4.0, output_base_mb=2.0))
+def bus_stage_a(data=None):
+    return None
+
+
+@function(sim_profile=SimProfile(base_time_s=2.0, output_base_mb=1.0))
+def bus_stage_b(upstream=None):
+    return None
+
+
+@function(sim_profile=SimProfile(base_time_s=1.0))
+def bus_stage_c(*parts):
+    return None
+
+
+def _run_logged_workflow(seed=0):
+    """Run a diamond DAG on a fresh sim env, returning the event log."""
+    env = build_two_site_env(seed=seed)
+    client = env.make_client(env.make_config("DHA"))
+    log = []
+    client.bus.subscribe_all(lambda e: log.append((e.time,) + e.describe()))
+    with client:
+        root = bus_stage_a()
+        left = bus_stage_b(root)
+        right = bus_stage_b(root)
+        bus_stage_c(left, right)
+        client.run()
+    assert client.graph.is_complete()
+    return log
+
+
+class TestDeterminism:
+    def test_event_sequence_is_deterministic_under_the_sim_clock(self):
+        # Two independent runs of the same DAG on identically seeded
+        # environments must announce the identical event sequence, with
+        # identical simulated timestamps.
+        first = _run_logged_workflow()
+        second = _run_logged_workflow()
+        assert first == second
+
+    def test_lifecycle_order_per_task(self):
+        log = _run_logged_workflow()
+        root_events = [
+            entry[1] for entry in log if len(entry) > 2 and entry[2] == "bus_stage_a"
+        ]
+        assert root_events == [
+            "TaskReady",
+            "TaskPlaced",
+            "StagingDone",
+            "TaskDispatched",
+            "TaskCompleted",
+        ]

@@ -1,0 +1,206 @@
+"""Engine internals: indexed state, the stall ceiling, and memoization."""
+
+import pytest
+
+from repro.core.dag import Task, TaskState
+from repro.core.exceptions import SchedulingError
+from repro.core.functions import SimProfile, function
+from repro.engine.state import TaskIndex
+
+from tests.integration.conftest import build_two_site_env
+from tests.sched.conftest import EndpointSpec, add_task, build_context
+
+
+@function(sim_profile=SimProfile(base_time_s=1.0, output_base_mb=1.0))
+def engine_work(data=None):
+    return None
+
+
+class TestTaskIndex:
+    def test_queue_preserves_arrival_order(self):
+        index = TaskIndex()
+        tasks = [Task(function=engine_work) for _ in range(3)]
+        for task in tasks:
+            index.enqueue(task)
+        index.enqueue(tasks[0])  # idempotent
+        assert index.queued_tasks() == tasks
+        index.remove_queued(tasks[1].task_id)
+        assert index.queued_tasks() == [tasks[0], tasks[2]]
+        assert index.queued_count == 2
+
+    def test_undispatched_counts_track_moves(self):
+        index = TaskIndex()
+        index.mark_undispatched("t1", "a")
+        index.mark_undispatched("t2", "a")
+        index.mark_undispatched("t3", "b")
+        assert index.undispatched_by_endpoint() == {"a": 2, "b": 1}
+        # A re-scheduling move shifts the count, O(1).
+        index.mark_undispatched("t1", "b")
+        assert index.undispatched_by_endpoint() == {"a": 1, "b": 2}
+        index.clear_undispatched("t2")
+        index.clear_undispatched("t3")
+        assert index.undispatched_by_endpoint() == {"b": 1}
+        assert index.undispatched_ids() == ["t1"]
+
+    def test_clear_unknown_task_is_a_noop(self):
+        index = TaskIndex()
+        index.clear_undispatched("missing")
+        assert index.undispatched_count == 0
+
+
+class TestStallCeiling:
+    def test_hard_ceiling_raises_with_state_counts(self):
+        # Staged tasks with the delay mechanism disabled used to make the
+        # stall diagnosis return forever while the dispatch gate never
+        # opened, spinning run() indefinitely.  The hard ceiling turns that
+        # into a diagnosable SchedulingError.
+        env = build_two_site_env()
+        config = env.make_config("DHA", enable_delay_mechanism=False)
+        client = env.make_client(config)
+        client.engine.stall_hard_rounds = 50
+        client.scheduler.should_dispatch = lambda task: False
+        with client:
+            engine_work()
+            with pytest.raises(SchedulingError, match="no progress.*staged"):
+                client.run()
+
+    def test_soft_diagnosis_still_raises_without_staged_tasks(self):
+        env = build_two_site_env(workers_a=0, workers_b=0)
+        # No workers anywhere and scaling disabled: tasks stay staged but
+        # DHA's forced dispatch drains them; with a scheduler that never
+        # places anything the workflow stalls in READY instead.
+        config = env.make_config("ROUND_ROBIN")
+        client = env.make_client(config)
+        client.scheduler.schedule = lambda ready: []
+        client.engine.stall_hard_rounds = 50
+        with client:
+            engine_work()
+            with pytest.raises(SchedulingError, match="stalled"):
+                client.run()
+
+
+class TestPredictionMemoization:
+    def test_repeat_lookups_hit_the_cache(self):
+        bundle = build_context({"a": EndpointSpec(), "b": EndpointSpec()})
+        task = add_task(bundle.graph)
+        context = bundle.context
+        first = context.predicted_execution_time(task, "a")
+        again = context.predicted_execution_time(task, "a")
+        assert first == again
+        assert context.exec_cache_hits == 1
+        assert context.exec_cache_misses == 1
+
+    def test_profiler_warmup_observation_invalidates(self):
+        bundle = build_context({"a": EndpointSpec()})
+        task = add_task(bundle.graph)
+        context = bundle.context
+        context.predicted_execution_time(task, "a")
+        # A warm-up observation changes the (mean-of-samples) prediction, so
+        # the next lookup must recompute.
+        from tests.sched.test_dha import observe, QIMING_HW
+
+        observe(bundle, "generic_work", "a", 123.0, QIMING_HW)
+        value = context.predicted_execution_time(task, "a")
+        assert value == pytest.approx(123.0)
+        assert context.exec_cache_misses == 2
+
+    def test_retrain_invalidates(self):
+        from tests.sched.test_dha import observe, QIMING_HW
+
+        bundle = build_context({"a": EndpointSpec()})
+        task = add_task(bundle.graph)
+        context = bundle.context
+        for _ in range(4):
+            observe(bundle, "generic_work", "a", 50.0, QIMING_HW)
+        before = context.predicted_execution_time(task, "a")
+        assert before == pytest.approx(50.0)
+        for _ in range(8):
+            observe(bundle, "generic_work", "a", 10.0, QIMING_HW)
+        bundle.execution_profiler.update_models(force=True)
+        after = context.predicted_execution_time(task, "a")
+        assert after < before
+
+    def test_hardware_change_invalidates_but_plain_sync_does_not(self):
+        bundle = build_context({"a": EndpointSpec()})
+        task = add_task(bundle.graph)
+        context = bundle.context
+        context.predicted_execution_time(task, "a")
+        misses = context.exec_cache_misses
+        # A sync that only refreshes capacity counters keeps the cache warm.
+        bundle.monitor.synchronize(force=True)
+        context.predicted_execution_time(task, "a")
+        assert context.exec_cache_misses == misses
+        # A sync that changes the hardware features must invalidate.
+        bundle.statuses["a"].cores = 48
+        bundle.monitor.synchronize(force=True)
+        context.predicted_execution_time(task, "a")
+        assert context.exec_cache_misses == misses + 1
+
+    def test_ablation_mode_sees_hardware_changes_immediately(self):
+        # With mocking disabled every mock() query re-reads the service
+        # status; the cache must notice a hardware change on the very next
+        # lookup (one recompute), then serve the fresh value from cache.
+        bundle = build_context({"a": EndpointSpec()})
+        bundle.monitor.mocking_enabled = False
+        task = add_task(bundle.graph)
+        context = bundle.context
+        context.predicted_execution_time(task, "a")
+        bundle.statuses["a"].cores = 96
+        misses = context.exec_cache_misses
+        context.predicted_execution_time(task, "a")
+        context.predicted_execution_time(task, "a")
+        assert context.exec_cache_misses == misses + 1
+
+    def test_invalidate_task_drops_only_that_task(self):
+        bundle = build_context({"a": EndpointSpec()})
+        t1 = add_task(bundle.graph)
+        t2 = add_task(bundle.graph)
+        context = bundle.context
+        context.predicted_execution_time(t1, "a")
+        context.predicted_execution_time(t2, "a")
+        context.invalidate_task(t1.task_id)
+        context.predicted_execution_time(t2, "a")  # still cached
+        assert context.exec_cache_hits == 1
+        context.predicted_execution_time(t1, "a")  # recomputed
+        assert context.exec_cache_misses == 3
+
+    def test_input_estimate_tracks_parent_completion_through_engine(self):
+        # End-to-end: once the parent completes, the child's estimated input
+        # must reflect the real output file, not a stale cached estimate.
+        env = build_two_site_env()
+        client = env.make_client(env.make_config("DHA"))
+        with client:
+            root = engine_work()
+            child = engine_work(root)
+            client.run()
+        child_task = client.graph.get(child.task_id)
+        context = client.engine.context
+        assert context.estimated_input_mb(child_task) == pytest.approx(1.0)
+
+
+class TestStagingCounter:
+    def test_active_staging_tasks_matches_ticket_scan_mid_run(self):
+        env = build_two_site_env(bandwidth=20.0)  # slow links: staging overlaps
+        client = env.make_client(env.make_config("DHA"))
+        manager = client.data_manager
+        samples = []
+
+        def scan():
+            return sum(1 for t in manager._tickets.values() if not t.done)
+
+        # Sampled every time a ticket completes — i.e. mid-run, while other
+        # tickets are still open — so counter drift cannot hide behind the
+        # trivially-zero end state.
+        manager.add_staged_callback(lambda t: samples.append((manager.active_staging_tasks(), scan())))
+        with client:
+            root = engine_work(unifaas_endpoint="site_a")
+            # Half the children pinned off the root's site so their shared
+            # input really has to move: several tickets stay open at once.
+            [engine_work(root, unifaas_endpoint="site_b") for _ in range(4)]
+            [engine_work(root) for _ in range(4)]
+            client.run()
+        assert samples
+        assert all(counter == scanned for counter, scanned in samples), samples
+        # The workload must actually have produced overlapping staging work.
+        assert max(counter for counter, _ in samples) > 0
+        assert manager.active_staging_tasks() == scan() == 0

@@ -1,0 +1,101 @@
+"""Cross-fabric parity: the same DAG announces the same event sequence.
+
+The engine's promise is that the event-driven code path is identical under
+the discrete-event simulation substrate and under real thread-pool
+endpoints.  A linear chain forces a deterministic execution order on both
+fabrics, so the sequence of (event type, function name) pairs must match
+exactly — only the timestamps (simulated vs wall clock) differ.
+"""
+
+import pytest
+
+from repro.core.config import Config, ExecutorSpec
+from repro.core.client import UniFaaSClient
+from repro.core.functions import SimProfile, function
+from repro.engine.events import TaskEvent
+from repro.faas.local import LocalEndpoint, LocalFabric
+
+from tests.integration.conftest import build_two_site_env
+
+
+@function(sim_profile=SimProfile(base_time_s=0.5))
+def parity_extract(value=None):
+    return 2
+
+
+@function(sim_profile=SimProfile(base_time_s=0.5))
+def parity_transform(value=None):
+    return value * 3
+
+
+@function(sim_profile=SimProfile(base_time_s=0.5))
+def parity_load(value=None):
+    return value + 1
+
+
+def _chain(client):
+    with client:
+        a = parity_extract()
+        b = parity_transform(a)
+        c = parity_load(b)
+    return c
+
+
+def _logged_run(client, max_wall_time_s=None):
+    log = []
+    client.bus.subscribe_all(
+        lambda e: log.append((type(e).__name__, e.name)) if isinstance(e, TaskEvent) else None
+    )
+    final = _chain(client)
+    client.run(max_wall_time_s=max_wall_time_s)
+    return final, log
+
+
+EXPECTED = [
+    (kind, name)
+    for name in ("parity_extract", "parity_transform", "parity_load")
+    for kind in ("TaskReady", "TaskPlaced", "StagingDone", "TaskDispatched", "TaskCompleted")
+]
+
+
+class TestFabricParity:
+    def test_simulated_fabric_event_sequence(self):
+        env = build_two_site_env()
+        client = env.make_client(env.make_config("ROUND_ROBIN"))
+        final, log = _logged_run(client)
+        assert client.graph.is_complete()
+        assert log == EXPECTED
+
+    def test_local_fabric_event_sequence(self):
+        fabric = LocalFabric([LocalEndpoint("site_a", max_workers=2)])
+        config = Config(
+            executors=[ExecutorSpec(label="site_a", endpoint="site_a")],
+            scheduling_strategy="ROUND_ROBIN",
+            enable_scaling=False,
+        )
+        client = UniFaaSClient(config, fabric)
+        try:
+            final, log = _logged_run(client, max_wall_time_s=30.0)
+            assert final.result() == 7  # (2 * 3) + 1: the chain really executed
+            assert log == EXPECTED
+        finally:
+            fabric.shutdown()
+
+    def test_sequences_match_across_fabrics(self):
+        env = build_two_site_env()
+        sim_client = env.make_client(env.make_config("ROUND_ROBIN"))
+        _, sim_log = _logged_run(sim_client)
+
+        fabric = LocalFabric([LocalEndpoint("site_a", max_workers=2)])
+        config = Config(
+            executors=[ExecutorSpec(label="site_a", endpoint="site_a")],
+            scheduling_strategy="ROUND_ROBIN",
+            enable_scaling=False,
+        )
+        local_client = UniFaaSClient(config, fabric)
+        try:
+            _, local_log = _logged_run(local_client, max_wall_time_s=30.0)
+        finally:
+            fabric.shutdown()
+
+        assert sim_log == local_log

@@ -1,0 +1,131 @@
+"""Fault-tolerance policy tests (§IV-G): retry, reassign, terminal failure."""
+
+import pytest
+
+from repro.core.dag import TaskState
+from repro.core.exceptions import TaskFailedError
+from repro.core.functions import SimProfile, function
+from repro.engine.events import TaskFailed, TaskPlaced
+from repro.experiments.environment import build_simulation, EndpointSetup
+from repro.faas.types import ServiceLatencyModel, TaskExecutionRecord
+
+from tests.integration.conftest import build_two_site_env, fast_latency, small_cluster
+
+
+@function(sim_profile=SimProfile(base_time_s=2.0))
+def fragile_work(data=None):
+    return None
+
+
+def _placements_of(log, task_id):
+    return [e.endpoint for e in log if isinstance(e, TaskPlaced) and e.task_id == task_id]
+
+
+def _observe_outcome(client, endpoint, success, index):
+    """Seed the task monitor's reliability statistics for one endpoint."""
+    client.task_monitor.observe_task(
+        TaskExecutionRecord(
+            task_id=f"seed-{endpoint}-{index}",
+            endpoint=endpoint,
+            function_name="seed",
+            success=success,
+            submitted_at=0.0,
+            started_at=0.0,
+            completed_at=1.0,
+        )
+    )
+
+
+class TestRetrySameEndpoint:
+    def test_task_retries_on_the_failing_endpoint_before_reassignment(self):
+        env = build_two_site_env(failure_rate_a=1.0, seed=5)
+        config = env.make_config("ROUND_ROBIN", max_task_retries=2)
+        client = env.make_client(config)
+        log = []
+        client.bus.subscribe_all(log.append)
+        with client:
+            fut = fragile_work(unifaas_endpoint="site_a")
+            client.run()
+        task = client.graph.get(fut.task_id)
+        # Placed on site_a (pin), retried there twice (attempts 1 and 2 both
+        # within max_task_retries), then reassigned to the only other site.
+        assert _placements_of(log, task.task_id) == ["site_a", "site_a", "site_a", "site_b"]
+        assert task.attempts == 4
+        assert fut.exception() is None
+        assert task.assigned_endpoint == "site_b"
+
+    def test_failed_attempts_record_start_timestamps(self):
+        env = build_two_site_env(failure_rate_a=1.0, seed=5)
+        config = env.make_config("ROUND_ROBIN", max_task_retries=0)
+        client = env.make_client(config)
+        started_at_failure = []
+        original = client.engine.failure.handle_execution_failure
+
+        def spying_handle(task, record):
+            original(task, record)
+            started_at_failure.append(task.timestamps.started)
+
+        client.engine.failure.handle_execution_failure = spying_handle
+        with client:
+            fut = fragile_work(unifaas_endpoint="site_a")
+            client.run()
+        # The failure path records when the failed attempt started, so retry
+        # latency is measurable even before the task ever succeeds.
+        assert started_at_failure
+        assert all(ts is not None for ts in started_at_failure)
+        assert fut.exception() is None
+
+
+class TestReassignment:
+    def test_reassigns_to_most_reliable_remaining_endpoint(self):
+        setups = [
+            EndpointSetup(
+                name=name,
+                cluster=small_cluster(name),
+                initial_workers=4,
+                auto_scale=False,
+                duration_jitter=0.0,
+                execution_overhead_s=0.0,
+                failure_rate=1.0 if name == "flaky" else 0.0,
+            )
+            for name in ("flaky", "shaky", "steady")
+        ]
+        env = build_simulation(setups, latency=fast_latency(), seed=1)
+        config = env.make_config("ROUND_ROBIN", max_task_retries=0)
+        client = env.make_client(config)
+        # History: "shaky" fails half the time, "steady" always succeeds, so
+        # reassignment must pick "steady" (highest observed success rate).
+        for i in range(4):
+            _observe_outcome(client, "shaky", success=i % 2 == 0, index=i)
+            _observe_outcome(client, "steady", success=True, index=i)
+        log = []
+        client.bus.subscribe_all(log.append)
+        with client:
+            fut = fragile_work(unifaas_endpoint="flaky")
+            client.run()
+        task = client.graph.get(fut.task_id)
+        assert fut.exception() is None
+        assert _placements_of(log, task.task_id) == ["flaky", "steady"]
+
+
+class TestTerminalFailure:
+    def test_task_fails_when_every_endpoint_is_exhausted(self):
+        env = build_two_site_env(failure_rate_a=1.0, seed=3)
+        env.endpoint("site_b").failure_rate = 1.0
+        config = env.make_config("ROUND_ROBIN", max_task_retries=0)
+        client = env.make_client(config)
+        log = []
+        client.bus.subscribe_all(log.append)
+        with client:
+            fut = fragile_work()
+            client.run()
+        assert client.graph.is_complete()
+        with pytest.raises(TaskFailedError):
+            fut.result()
+        task = client.graph.get(fut.task_id)
+        assert task.state == TaskState.FAILED
+        # Both endpoints were tried; the terminal outcome was announced.
+        assert set(task.failed_endpoints) == {"site_a", "site_b"}
+        failures = [e for e in log if isinstance(e, TaskFailed)]
+        assert len(failures) == 1
+        assert failures[0].attempts == task.attempts
