@@ -5,7 +5,7 @@ while Capacity and Locality decay into a long tail towards the end of the
 run (stragglers on the bottleneck endpoints).
 """
 
-from repro.experiments.reporting import downsample, format_timeseries
+from repro.experiments.reporting import format_timeseries
 
 from benchmarks.conftest import static_study
 

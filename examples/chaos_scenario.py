@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Chaos engineering for federated workflows: the scenario subsystem.
+
+Runs one of the chaos presets — endpoint crash/rejoin, stochastic worker
+churn, network brownouts — under several schedulers and prints how each one
+coped (makespan, retries, re-schedules).  The same runs are available from
+the command line::
+
+    python -m repro list-scenarios
+    python -m repro run-scenario chaos-crash-rejoin --seed 7
+    python -m repro compare chaos-churn-dha --schedulers dha,heft,locality
+
+This script shows the Python API: fetch a preset (or build a
+:class:`~repro.scenarios.spec.ScenarioSpec` from scratch), override its
+axes, and execute it with :func:`~repro.scenarios.spec.run_scenario`.
+"""
+
+import argparse
+
+from repro.core.functions import set_current_client
+from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="chaos-crash-rejoin",
+                        choices=scenario_names())
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--schedulers", default="dha,heft,locality")
+    args = parser.parse_args()
+
+    preset = get_scenario(args.scenario)
+    print(f"scenario: {preset.name} — {preset.description}")
+    print(f"topology: {', '.join(e.name for e in preset.topology)}   seed: {args.seed}\n")
+
+    for scheduler in args.schedulers.split(","):
+        spec = preset.with_overrides(scheduler=scheduler.strip(), seed=args.seed)
+        result = run_scenario(spec)
+        set_current_client(None)  # each run builds a fresh client
+        print(
+            f"{result.scheduler:<12} makespan {result.makespan_s:7.1f} s   "
+            f"completed {result.completed_tasks}/{result.total_tasks}   "
+            f"retries {result.retries:3d}   rescheduled {result.rescheduled_tasks:3d}   "
+            f"dynamics fired {len(result.dynamics_fired)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

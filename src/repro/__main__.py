@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro`` (the scenario runner CLI)."""
+
+import sys
+
+from repro.scenarios.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.exceptions import WorkflowError
 from repro.core.functions import FederatedFunction, SimProfile
@@ -131,8 +131,19 @@ class Task:
         return self.function.name
 
     @property
-    def sim_profile(self) -> SimProfile:
+    def sim_profile(self) -> Optional[SimProfile]:
         return self.function.sim_profile
+
+    @property
+    def cores(self) -> int:
+        """Workers the task occupies (1 for functions without a SimProfile).
+
+        Functions registered for real (local) execution need no simulation
+        profile, so every consumer of the core count goes through this
+        accessor instead of reading ``sim_profile.cores`` unconditionally.
+        """
+        profile = self.function.sim_profile
+        return profile.cores if profile is not None else 1
 
     @property
     def input_size_mb(self) -> float:

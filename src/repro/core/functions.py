@@ -22,7 +22,7 @@ from __future__ import annotations
 import functools
 import pickle
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.exceptions import SerializationLimitExceeded, UniFaaSError
@@ -128,7 +128,11 @@ class FederatedFunction:
     ) -> None:
         self.callable = fn
         self.name = name or fn.__name__
-        self.sim_profile = sim_profile or SimProfile()
+        #: ``None`` for functions registered without a simulation profile —
+        #: the normal case for real (local-mode) functions.  Consumers that
+        #: need a core count use :attr:`repro.core.dag.Task.cores`, which
+        #: defaults to 1; only the simulated fabric requires a profile.
+        self.sim_profile = sim_profile
         self.payload_limit_bytes = payload_limit_bytes
         functools.update_wrapper(self, fn)
 

@@ -43,10 +43,13 @@ from repro.engine.bus import EventBus
 from repro.engine.dispatch import DispatchCoordinator
 from repro.engine.events import (
     CapacityChanged,
+    EndpointCrashed,
+    EndpointRejoined,
     TaskCompleted,
     TaskDispatched,
     TaskPlaced,
     TaskReady,
+    WorkerChurn,
 )
 from repro.engine.failure import FailureCoordinator
 from repro.engine.periodic import PeriodicCoordinator
@@ -186,6 +189,14 @@ class ExecutionEngine:
         )
         self.bus.subscribe(CapacityChanged, lambda e: self.scheduler.on_capacity_changed())
 
+        # Endpoint dynamics (crash / rejoin / churn) change capacity out from
+        # under the mocked view: re-synchronise the monitor and react at once
+        # instead of waiting for the periodic cadences.  Subscribed before
+        # the coordinators so the failure coordinator's crash handler sees
+        # fresh online flags.
+        for dynamics_type in (EndpointCrashed, EndpointRejoined, WorkerChurn):
+            self.bus.subscribe(dynamics_type, self._on_endpoint_dynamics)
+
         # Coordinators (their constructors subscribe to the bus).
         self.placement = PlacementCoordinator(self)
         self.staging = StagingCoordinator(self)
@@ -305,6 +316,25 @@ class ExecutionEngine:
         return progressed
 
     # ---------------------------------------------------------------- events
+    def _on_endpoint_dynamics(self, event) -> None:
+        """React to a crash / rejoin / churn announced on the bus.
+
+        The service notices the connection change immediately (heartbeat),
+        so the monitor force-syncs against it; the elastic scaler and DHA's
+        re-scheduling then run promptly — the reactions the scenario
+        subsystem's chaos regimes exercise.
+        """
+        self.endpoint_monitor.synchronize(force=True)
+        self.bus.publish(CapacityChanged(time=self.clock.now()))
+        if self._running:
+            self.periodic.run_scaling()
+            # On a crash the failure coordinator owns re-placement of the
+            # stranded tasks; running a rescheduling pass here too would move
+            # the same tasks twice (its TaskPlaced events are deferred by the
+            # bus cascade, so the coordinator cannot see them yet).
+            if self.scheduler.supports_rescheduling and not isinstance(event, EndpointCrashed):
+                self.periodic.run_rescheduling()
+
     def _on_task_ready(self, event: TaskReady) -> None:
         task = event.task
         if self.staging.augment_input_files(task) and self.context is not None:
@@ -333,7 +363,7 @@ class ExecutionEngine:
                 task,
                 time=self.clock.now(),
                 endpoint=record.endpoint,
-                cores=task.sim_profile.cores,
+                cores=task.cores,
                 record=record,
             )
         )

@@ -65,7 +65,7 @@ class DispatchCoordinator:
         engine = self._engine
         endpoint = task.assigned_endpoint
         resolved_args, resolved_kwargs = None, None
-        if task.function.callable is not None and task.sim_profile is not None:
+        if task.function.callable is not None:
             # Resolve future arguments for real (local) execution; harmless in
             # simulation mode where the callable is never invoked.
             try:
@@ -82,6 +82,6 @@ class DispatchCoordinator:
                 task,
                 time=engine.clock.now(),
                 endpoint=endpoint,
-                cores=task.sim_profile.cores,
+                cores=task.cores,
             )
         )

@@ -13,6 +13,13 @@ is announced as one of these events:
 :class:`CapacityChanged` the endpoint monitor re-synchronised capacity
 ====================  =====================================================
 
+Endpoint *dynamics* — the real-world behaviours the paper's scheduler is
+built to survive (endpoints crashing and rejoining, worker churn, cold
+starts, degraded networks, stale status) — are announced as subclasses of
+:class:`EndpointDynamicsEvent`.  The scenario subsystem's injector publishes
+them when it perturbs the simulation substrate; the failure coordinator, the
+elastic scaler and DHA's re-scheduling subscribe and react.
+
 Events are small frozen dataclasses.  They carry the :class:`Task` object
 for in-process consumers (``repr``-suppressed), plus the stable identifying
 fields — function name, endpoint — that event logs and the cross-fabric
@@ -29,14 +36,22 @@ from repro.faas.types import TaskExecutionRecord
 
 __all__ = [
     "CapacityChanged",
+    "ColdStartWindow",
+    "EndpointCrashed",
+    "EndpointDynamicsEvent",
+    "EndpointRejoined",
     "Event",
+    "NetworkDegraded",
+    "NetworkRestored",
     "StagingDone",
+    "StatusStalenessChanged",
     "TaskCompleted",
     "TaskDispatched",
     "TaskEvent",
     "TaskFailed",
     "TaskPlaced",
     "TaskReady",
+    "WorkerChurn",
 ]
 
 
@@ -142,3 +157,89 @@ class TaskFailed(TaskEvent):
 @dataclass(frozen=True)
 class CapacityChanged(Event):
     """The endpoint monitor re-synchronised its mocks with the service."""
+
+
+@dataclass(frozen=True)
+class EndpointDynamicsEvent(Event):
+    """Base class of events announcing a real-world endpoint perturbation.
+
+    ``endpoint`` is empty for fabric-wide perturbations (network degradation,
+    status staleness).  Subclasses carry the perturbation's parameters; their
+    :meth:`describe` tuples feed the scenario determinism digest.
+    """
+
+    endpoint: str = ""
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.endpoint)
+
+
+@dataclass(frozen=True)
+class EndpointCrashed(EndpointDynamicsEvent):
+    """An endpoint abruptly went offline, losing its queued and running tasks."""
+
+    #: Tasks (queued + running) the crash failed on the endpoint.
+    lost_tasks: int = 0
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.endpoint, self.lost_tasks)
+
+
+@dataclass(frozen=True)
+class EndpointRejoined(EndpointDynamicsEvent):
+    """A previously crashed endpoint came back with a fresh worker pool."""
+
+    workers: int = 0
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.endpoint, self.workers)
+
+
+@dataclass(frozen=True)
+class WorkerChurn(EndpointDynamicsEvent):
+    """An endpoint gained or lost workers (another user's allocation)."""
+
+    delta_workers: int = 0
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.endpoint, self.delta_workers)
+
+
+@dataclass(frozen=True)
+class ColdStartWindow(EndpointDynamicsEvent):
+    """Tasks starting on the endpoint pay a cold-start penalty for a while."""
+
+    penalty_s: float = 0.0
+    duration_s: float = 0.0
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.endpoint, self.penalty_s, self.duration_s)
+
+
+@dataclass(frozen=True)
+class NetworkDegraded(EndpointDynamicsEvent):
+    """Wide-area bandwidth dropped to ``factor`` of nominal for a window."""
+
+    factor: float = 1.0
+    duration_s: float = 0.0
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.factor, self.duration_s)
+
+
+@dataclass(frozen=True)
+class NetworkRestored(EndpointDynamicsEvent):
+    """A network degradation window ended; bandwidth is nominal again."""
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__,)
+
+
+@dataclass(frozen=True)
+class StatusStalenessChanged(EndpointDynamicsEvent):
+    """The service's status cache refresh interval changed (staleness spike)."""
+
+    interval_s: float = 0.0
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.interval_s)

@@ -15,21 +15,31 @@ terminal immediately and carry a
 
 Either terminal outcome is announced as a
 :class:`~repro.engine.events.TaskFailed` event.
+
+The coordinator also reacts to endpoint *dynamics*: when an
+:class:`~repro.engine.events.EndpointCrashed` event arrives, tasks already
+placed on (but not yet dispatched to) the dead endpoint are immediately
+re-placed on a surviving endpoint instead of staging data toward a corpse,
+and the retry step of the ladder skips endpoints the monitor knows to be
+offline.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, List
 
 from repro.core.dag import Task, TaskState
 from repro.core.exceptions import TaskFailedError, TransferFailedError
-from repro.engine.events import StagingDone, TaskFailed, TaskPlaced
+from repro.engine.events import EndpointCrashed, StagingDone, TaskFailed, TaskPlaced
 from repro.faas.types import TaskExecutionRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.core import ExecutionEngine
 
 __all__ = ["FailureCoordinator"]
+
+#: Placed-but-undispatched states a crash forces back through placement.
+_REASSIGNABLE = (TaskState.SCHEDULED, TaskState.STAGING, TaskState.STAGED)
 
 
 class FailureCoordinator:
@@ -38,6 +48,7 @@ class FailureCoordinator:
     def __init__(self, engine: "ExecutionEngine") -> None:
         self._engine = engine
         engine.bus.subscribe(StagingDone, self._on_staging_done)
+        engine.bus.subscribe(EndpointCrashed, self._on_endpoint_crashed)
 
     # ------------------------------------------------------ staging failures
     def _on_staging_done(self, event: StagingDone) -> None:
@@ -63,6 +74,40 @@ class FailureCoordinator:
             )
         )
 
+    # ------------------------------------------------------------- dynamics
+    def _online_endpoints(self) -> List[str]:
+        """Endpoints the monitor's mocked view believes are online."""
+        monitor = self._engine.endpoint_monitor
+        return [name for name in monitor.endpoint_names() if monitor.mock(name).online]
+
+    def _on_endpoint_crashed(self, event: EndpointCrashed) -> None:
+        """Re-place undispatched tasks stranded on a crashed endpoint.
+
+        Dispatched/running tasks surface as failure records through the
+        ladder below; the placed-but-undispatched ones would otherwise keep
+        staging data toward the dead endpoint until a periodic re-scheduling
+        pass noticed.
+        """
+        engine = self._engine
+        crashed = event.endpoint
+        survivors = [e for e in self._online_endpoints() if e != crashed]
+        if not survivors:
+            # Nowhere to go: leave the tasks placed, the stall diagnosis and
+            # a later rejoin (or scale-out) will resolve them.
+            return
+        now = engine.clock.now()
+        # Loop-invariant: reliability cannot change while re-placing.  The
+        # pile-on onto one survivor is deliberate — the next scheduling /
+        # re-scheduling pass rebalances with full capacity knowledge.
+        target = engine.task_monitor.most_reliable_endpoint(survivors)
+        for task_id in list(engine.index.undispatched_ids()):
+            if task_id not in engine.graph:
+                continue
+            task = engine.graph.get(task_id)
+            if task.assigned_endpoint != crashed or task.state not in _REASSIGNABLE:
+                continue
+            engine.bus.publish(TaskPlaced.for_task(task, time=now, endpoint=target))
+
     # ---------------------------------------------------- execution failures
     def handle_execution_failure(self, task: Task, record: TaskExecutionRecord) -> None:
         """Apply the retry / reassign / fail ladder to a failed execution."""
@@ -74,12 +119,21 @@ class FailureCoordinator:
         if endpoint not in task.failed_endpoints:
             task.failed_endpoints.append(endpoint)
         all_endpoints = engine.fabric.endpoint_names()
+        online = set(self._online_endpoints())
 
-        if task.attempts <= engine.config.max_task_retries:
+        if task.attempts <= engine.config.max_task_retries and endpoint in online:
             # Retry on the endpoint chosen by the scheduler (data already there).
             retry_endpoint = endpoint
         else:
-            candidates = [e for e in all_endpoints if e not in task.failed_endpoints]
+            # Reassign: prefer online endpoints that have not failed the task;
+            # fall back to any not-yet-failed endpoint (it may rejoin before
+            # the dispatch arrives, and a dead one fails fast and is excluded
+            # on the next rung).
+            candidates = [
+                e for e in all_endpoints if e not in task.failed_endpoints and e in online
+            ]
+            if not candidates:
+                candidates = [e for e in all_endpoints if e not in task.failed_endpoints]
             if not candidates:
                 if engine.context is not None:
                     engine.context.invalidate_task(task.task_id)

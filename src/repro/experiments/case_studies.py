@@ -24,12 +24,11 @@ suitable for a benchmark suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.client import UniFaaSClient
 from repro.experiments.environment import (
-    SimulationEnvironment,
     build_simulation,
     paper_testbed_network,
     paper_testbed_setups,

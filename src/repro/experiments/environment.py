@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.client import UniFaaSClient
 from repro.core.config import Config, ExecutorSpec
 from repro.data.transfer import SimulatedTransferBackend
@@ -52,6 +50,7 @@ class EndpointSetup:
     failure_rate: float = 0.0
     duration_jitter: float = 0.02
     execution_overhead_s: float = 0.062
+    cold_start_penalty_s: float = 0.0
     capacity_changes: List[CapacityChange] = field(default_factory=list)
 
 
@@ -198,6 +197,7 @@ def build_simulation(
             failure_rate=setup.failure_rate,
             duration_jitter=setup.duration_jitter,
             execution_overhead_s=setup.execution_overhead_s,
+            cold_start_penalty_s=setup.cold_start_penalty_s,
         )
         if setup.capacity_changes:
             endpoint.set_capacity_schedule(setup.capacity_changes)

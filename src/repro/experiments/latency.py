@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.core.functions import FederatedFunction, SimProfile
 from repro.data.remote_file import GlobusFile

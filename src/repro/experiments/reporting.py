@@ -7,7 +7,7 @@ these outputs next to the paper's numbers).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 from repro.experiments.case_studies import CaseStudyResult
 from repro.metrics.collector import TimeSeries

@@ -13,7 +13,12 @@ The endpoint reproduces the behaviours UniFaaS depends on:
 * **dynamic capacity** — scheduled capacity changes model other users and
   downtimes taking resources away or returning them (§VI-B, Figs. 12–13);
 * **failure injection** — tasks can fail with a configurable probability to
-  exercise the fault-tolerance path (§IV-G).
+  exercise the fault-tolerance path (§IV-G);
+* **lifecycle dynamics** — an endpoint can :meth:`crash` (failing its queued
+  and running tasks) and later :meth:`rejoin` with a fresh, cold worker pool,
+  and tasks starting inside a cold-start window pay a startup penalty.  The
+  scenario subsystem drives these to model endpoints leaving and joining the
+  federation mid-workflow.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ import numpy as np
 from repro.core.exceptions import EndpointError
 from repro.faas.types import EndpointStatus, TaskExecutionRecord, TaskExecutionRequest
 from repro.sim.hardware import ClusterSpec
-from repro.sim.kernel import SimulationKernel
+from repro.sim.kernel import EventHandle, SimulationKernel
 
 __all__ = ["CapacityChange", "SimulatedEndpoint"]
 
@@ -59,6 +64,8 @@ class _RunningTask:
     submitted_at: float
     started_at: float
     worker_id: str
+    #: Kernel event that will complete the task; cancelled by a crash.
+    finish_handle: Optional[EventHandle] = None
 
 
 class SimulatedEndpoint:
@@ -79,6 +86,7 @@ class SimulatedEndpoint:
         execution_overhead_s: float = 0.0,
         failure_rate: float = 0.0,
         duration_jitter: float = 0.0,
+        cold_start_penalty_s: float = 0.0,
     ) -> None:
         if initial_workers < 0:
             raise EndpointError(f"initial_workers must be non-negative, got {initial_workers}")
@@ -98,6 +106,8 @@ class SimulatedEndpoint:
         self.execution_overhead_s = execution_overhead_s
         self.failure_rate = failure_rate
         self.duration_jitter = duration_jitter
+        #: Extra seconds a task pays when it starts inside a cold window.
+        self.cold_start_penalty_s = cold_start_penalty_s
 
         # Worker accounting.  Workers are modelled as counters; individual
         # worker identities only matter for execution records.
@@ -105,6 +115,14 @@ class SimulatedEndpoint:
         self._busy_workers = 0
         self._provisioning_workers = 0
         self._pending_removals = 0
+
+        # Lifecycle dynamics.
+        self._online = True
+        self._cold_until = 0.0
+        self.crash_count = 0
+        #: Bumped by every crash; provisioning batches carry the epoch they
+        #: were requested in, so allocations from before a crash cannot land.
+        self._lifecycle_epoch = 0
 
         self._queue: Deque[tuple[TaskExecutionRequest, float]] = deque()
         self._running: Dict[str, _RunningTask] = {}
@@ -153,6 +171,15 @@ class SimulatedEndpoint:
         return self.cluster.speed_factor
 
     @property
+    def online(self) -> bool:
+        return self._online
+
+    @property
+    def cold(self) -> bool:
+        """True while tasks starting here pay the cold-start penalty."""
+        return self.kernel.now() < self._cold_until
+
+    @property
     def utilization(self) -> float:
         """Fraction of provisioned workers currently busy."""
         if self._active_workers == 0:
@@ -168,7 +195,7 @@ class SimulatedEndpoint:
         hw = self.cluster.hardware
         return EndpointStatus(
             endpoint=self.name,
-            online=True,
+            online=self._online,
             active_workers=self._active_workers,
             busy_workers=self._busy_workers,
             idle_workers=self.idle_workers,
@@ -182,12 +209,21 @@ class SimulatedEndpoint:
 
     # ------------------------------------------------------------ submission
     def submit(self, request: TaskExecutionRequest, submitted_at: Optional[float] = None) -> None:
-        """Accept a task dispatched to this endpoint."""
+        """Accept a task dispatched to this endpoint.
+
+        Submissions to an offline (crashed) endpoint fail immediately: the
+        resulting failure record flows back through the service so the
+        client's fault-tolerance ladder (§IV-G) can reassign the task.
+        """
         if request.sim_duration_s is None:
             raise EndpointError(
                 f"simulated endpoint {self.name} received a request without sim_duration_s"
             )
         when = self.kernel.now() if submitted_at is None else submitted_at
+        if not self._online:
+            self.dispatched_count += 1
+            self._fail_request(request, when, error="endpoint offline")
+            return
         self._queue.append((request, when))
         self._last_activity_at = self.kernel.now()
         self.dispatched_count += 1
@@ -202,7 +238,7 @@ class SimulatedEndpoint:
         Returns the number of workers actually requested; provisioning
         completes after the cluster's batch-queue delay.
         """
-        if count <= 0:
+        if count <= 0 or not self._online:
             return 0
         headroom = self.max_workers - (
             self._active_workers + self._provisioning_workers
@@ -216,7 +252,13 @@ class SimulatedEndpoint:
             return 0
         self._provisioning_workers += workers
         delay = self._sample_queue_delay()
-        self.kernel.schedule(delay, self._provision_arrived, workers, label=f"{self.name}-provision")
+        self.kernel.schedule(
+            delay,
+            self._provision_arrived,
+            workers,
+            self._lifecycle_epoch,
+            label=f"{self.name}-provision",
+        )
         return workers
 
     def release_idle_workers(self, count: Optional[int] = None) -> int:
@@ -230,6 +272,10 @@ class SimulatedEndpoint:
 
     def apply_capacity_change(self, delta_workers: int) -> None:
         """Apply a capacity change right now (used by the schedule below)."""
+        if not self._online:
+            # The change addressed an endpoint process that has since died;
+            # like in-flight provisioning, it is lost with the crash.
+            return
         if delta_workers > 0:
             self.max_workers = max(self.max_workers, self._active_workers + delta_workers)
             self._active_workers += delta_workers
@@ -252,6 +298,60 @@ class SimulatedEndpoint:
                 label=f"{self.name}-capacity",
             )
 
+    # ------------------------------------------------------------- lifecycle
+    def crash(self) -> int:
+        """Go offline abruptly, as a real endpoint process dying would.
+
+        Every queued and running task fails immediately (their failure
+        records flow back through the service's result path), the worker
+        pool is lost, and in-flight provisioning is voided.  Returns the
+        number of tasks the crash failed.
+        """
+        if not self._online:
+            return 0
+        self._online = False
+        self.crash_count += 1
+        self._lifecycle_epoch += 1
+        now = self.kernel.now()
+        lost = 0
+        for running in list(self._running.values()):
+            if running.finish_handle is not None:
+                running.finish_handle.cancel()
+            self._fail_request(running.request, running.submitted_at,
+                               started_at=running.started_at, error="endpoint crashed")
+            lost += 1
+        self._running.clear()
+        while self._queue:
+            request, submitted_at = self._queue.popleft()
+            self._fail_request(request, submitted_at, error="endpoint crashed")
+            lost += 1
+        self._active_workers = 0
+        self._busy_workers = 0
+        self._provisioning_workers = 0
+        self._pending_removals = 0
+        self._last_activity_at = now
+        return lost
+
+    def rejoin(self, workers: Optional[int] = None) -> None:
+        """Come back online with a fresh pool of ``workers`` cold workers."""
+        if self._online:
+            return
+        self._online = True
+        grant = self.max_workers if workers is None else min(workers, self.max_workers)
+        self._active_workers = max(0, grant)
+        self._busy_workers = 0
+        self._last_activity_at = self.kernel.now()
+        if self.cold_start_penalty_s > 0:
+            # A rejoined pool is cold until its first tasks have warmed it up.
+            self.begin_cold_window(self.cold_start_penalty_s * 10.0)
+        self._start_queued_tasks()
+
+    def begin_cold_window(self, duration_s: float, penalty_s: Optional[float] = None) -> None:
+        """Tasks starting within ``duration_s`` from now pay the cold penalty."""
+        if penalty_s is not None:
+            self.cold_start_penalty_s = penalty_s
+        self._cold_until = max(self._cold_until, self.kernel.now() + duration_s)
+
     # -------------------------------------------------------------- internal
     def _sample_queue_delay(self) -> float:
         spec = self.cluster
@@ -260,8 +360,14 @@ class SimulatedEndpoint:
         delay = self.rng.normal(spec.queue_delay_mean_s, spec.queue_delay_std_s)
         return float(max(0.0, delay))
 
-    def _provision_arrived(self, workers: int) -> None:
-        self._provisioning_workers -= workers
+    def _provision_arrived(self, workers: int, epoch: int = 0) -> None:
+        if epoch != self._lifecycle_epoch:
+            # The endpoint crashed after this batch was requested (even if it
+            # has since rejoined): the allocation died with the old process.
+            return
+        self._provisioning_workers = max(0, self._provisioning_workers - workers)
+        if not self._online:
+            return
         grant = min(workers, self.max_workers - self._active_workers)
         if grant > 0:
             self._active_workers += grant
@@ -283,6 +389,8 @@ class SimulatedEndpoint:
             self.release_idle_workers()
 
     def _start_queued_tasks(self) -> None:
+        if not self._online:
+            return
         while self._queue:
             request, submitted_at = self._queue[0]
             if self.idle_workers < request.cores:
@@ -300,7 +408,7 @@ class SimulatedEndpoint:
             )
             self._running[request.task_id] = running
             duration = self._execution_duration(request)
-            self.kernel.schedule(
+            running.finish_handle = self.kernel.schedule(
                 duration, self._finish_task, request.task_id, label=f"{self.name}-exec"
             )
 
@@ -308,7 +416,42 @@ class SimulatedEndpoint:
         duration = request.sim_duration_s / self.speed_factor
         if self.duration_jitter > 0:
             duration *= float(self.rng.lognormal(0.0, self.duration_jitter))
-        return self.execution_overhead_s + duration
+        duration = self.execution_overhead_s + duration
+        if self.cold_start_penalty_s > 0 and self.cold:
+            duration += self.cold_start_penalty_s
+        return duration
+
+    def _fail_request(
+        self,
+        request: TaskExecutionRequest,
+        submitted_at: float,
+        *,
+        started_at: Optional[float] = None,
+        error: str = "endpoint offline",
+    ) -> None:
+        """Emit a failure record for a task the endpoint could not finish."""
+        now = self.kernel.now()
+        self.failed_count += 1
+        hw = self.cluster.hardware
+        record = TaskExecutionRecord(
+            task_id=request.task_id,
+            endpoint=self.name,
+            function_name=request.function_name,
+            success=False,
+            submitted_at=submitted_at,
+            started_at=now if started_at is None else started_at,
+            completed_at=now,
+            input_mb=request.input_mb,
+            output_mb=0.0,
+            result=None,
+            error=error,
+            worker_id=None,
+            cores_per_node=hw.cores_per_node,
+            cpu_freq_ghz=hw.cpu_freq_ghz,
+            ram_gb=hw.ram_gb,
+        )
+        for callback in self._completion_callbacks:
+            callback(record)
 
     def _finish_task(self, task_id: str) -> None:
         running = self._running.pop(task_id)

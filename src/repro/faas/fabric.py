@@ -140,6 +140,11 @@ class SimulatedFabric(ExecutionFabric):
         resolved_kwargs: Optional[dict] = None,
     ) -> TaskExecutionRequest:
         profile = task.sim_profile
+        if profile is None:
+            raise EndpointError(
+                f"function {task.name!r} has no SimProfile; simulation mode "
+                "needs one to sample the task's duration (local mode does not)"
+            )
         input_mb = task.input_size_mb
         jitter_draw = 1.0
         if profile.jitter > 0:

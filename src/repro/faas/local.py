@@ -173,7 +173,7 @@ class LocalFabric(ExecutionFabric):
         return TaskExecutionRequest(
             task_id=task.task_id,
             function_name=task.name,
-            cores=task.sim_profile.cores,
+            cores=task.cores,
             input_mb=task.input_size_mb,
             callable_=task.function.callable,
             args=resolved_args if resolved_args is not None else task.args,

@@ -14,6 +14,7 @@ web service the paper builds on:
 from __future__ import annotations
 
 import itertools
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
 from repro.core.exceptions import EndpointError
@@ -143,3 +144,14 @@ class FederatedFaaSService:
 
     def all_statuses(self, force_refresh: bool = False) -> Dict[str, EndpointStatus]:
         return {name: self.endpoint_status(name, force_refresh) for name in self._endpoints}
+
+    def set_status_refresh_interval(self, interval_s: float) -> None:
+        """Change how stale the served endpoint statuses may get.
+
+        Scenario dynamics use this to model staleness spikes: an overloaded
+        or rate-limited web service stretching the window during which
+        clients see outdated capacity (§IV-B's motivating failure mode).
+        """
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.latency = replace(self.latency, status_refresh_interval_s=interval_s)

@@ -11,7 +11,7 @@ a result, and re-synchronised with the service's (stale) view periodically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.core.exceptions import EndpointError
 from repro.faas.types import EndpointStatus

@@ -1,0 +1,42 @@
+"""Scenario subsystem: declarative specs, endpoint dynamics, CLI runner.
+
+A scenario composes workload x topology x scheduler x dynamics into one
+reproducible unit (:class:`~repro.scenarios.spec.ScenarioSpec`), runnable
+from Python (:func:`~repro.scenarios.spec.run_scenario`) or from the
+``python -m repro`` CLI.  See :mod:`repro.scenarios.presets` for the named
+regimes (paper figures + chaos) and :mod:`repro.scenarios.dynamics` for the
+timeline/injection machinery.
+"""
+
+from repro.scenarios.dynamics import (
+    ChurnProcess,
+    CrashRejoinCycle,
+    DynamicsInjector,
+    DynamicsSpec,
+    TimelineEvent,
+)
+from repro.scenarios.presets import SCENARIOS, get_scenario, scenario_names, standard_dynamics
+from repro.scenarios.spec import (
+    EndpointSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_scenario,
+)
+
+__all__ = [
+    "ChurnProcess",
+    "CrashRejoinCycle",
+    "DynamicsInjector",
+    "DynamicsSpec",
+    "EndpointSpec",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TimelineEvent",
+    "WorkloadSpec",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+    "standard_dynamics",
+]

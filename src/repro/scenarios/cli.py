@@ -1,0 +1,174 @@
+"""``python -m repro`` — the scenario runner CLI.
+
+Three subcommands, designed so that CI can drive the scenario matrix and
+diff the machine-readable artifacts:
+
+``list-scenarios``
+    Print the preset registry (name, scheduler, dynamics, description).
+
+``run-scenario NAME``
+    Execute one preset (with optional ``--scheduler`` / ``--dynamics`` /
+    ``--seed`` / ``--scale`` overrides) and write ``BENCH_<id>.json`` — a
+    byte-stable payload whose determinism digest CI compares across runs.
+
+``compare NAME --schedulers dha,heft,locality``
+    Run the same scenario once per scheduler and print a comparison table
+    (plus one ``BENCH_*.json`` per run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.scenarios.presets import (
+    get_scenario,
+    resolve_dynamics,
+    scenario_names,
+    SCENARIOS,
+)
+from repro.scenarios.spec import SCHEDULER_ALIASES, ScenarioResult, run_scenario
+
+__all__ = ["main"]
+
+
+def _bench_filename(scenario_id: str) -> str:
+    return f"BENCH_{scenario_id}.json"
+
+
+def _effective_id(name: str, scheduler: Optional[str], dynamics: Optional[str]) -> str:
+    """Artifact id: the preset name, suffixed by any overrides applied."""
+    parts = [name]
+    if scheduler is not None:
+        parts.append(scheduler.lower())
+    if dynamics is not None:
+        parts.append(dynamics.lower())
+    return "-".join(parts)
+
+
+def _write_bench(result: ScenarioResult, out_dir: Path, scenario_id: str) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / _bench_filename(scenario_id)
+    path.write_text(result.to_json())
+    return path
+
+
+def _print_result(result: ScenarioResult, path: Optional[Path] = None) -> None:
+    print(f"scenario            : {result.scenario}")
+    print(f"scheduler           : {result.scheduler}")
+    print(f"seed                : {result.seed}")
+    print(f"makespan (sim)      : {result.makespan_s:.1f} s")
+    print(f"tasks               : {result.completed_tasks}/{result.total_tasks} completed, "
+          f"{result.failed_tasks} failed")
+    print(f"staged data         : {result.staged_mb:.1f} MB")
+    print(f"retries             : {result.retries}")
+    print(f"rescheduled         : {result.rescheduled_tasks}")
+    print(f"mean utilization    : {result.mean_utilization_pct:.1f}%")
+    print(f"dynamics fired      : {len(result.dynamics_fired)} "
+          f"(crashes: {result.endpoint_crashes})")
+    print(f"determinism digest  : {result.determinism_digest[:16]}…")
+    if path is not None:
+        print(f"artifact            : {path}")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    width = max(len(name) for name in scenario_names())
+    print(f"{'NAME':<{width}}  {'SCHED':<8}  {'DYNAMICS':<9}  DESCRIPTION")
+    for name in scenario_names():
+        preset = SCENARIOS[name]
+        dynamics = "none" if preset.dynamics.is_empty else "yes"
+        print(f"{name:<{width}}  {preset.scheduler:<8}  {dynamics:<9}  {preset.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    preset = get_scenario(args.name)
+    preset = resolve_dynamics(args.dynamics, preset)
+    preset = preset.with_overrides(scheduler=args.scheduler, seed=args.seed, scale=args.scale)
+    result = run_scenario(preset, max_wall_time_s=args.max_wall_time)
+    scenario_id = _effective_id(args.name, args.scheduler, args.dynamics)
+    path = _write_bench(result, Path(args.out), scenario_id)
+    _print_result(result, path)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    if not schedulers:
+        print("error: --schedulers needs at least one name", file=sys.stderr)
+        return 2
+    preset = get_scenario(args.name)
+    preset = resolve_dynamics(args.dynamics, preset)
+    results: List[ScenarioResult] = []
+    for scheduler in schedulers:
+        spec = preset.with_overrides(scheduler=scheduler, seed=args.seed)
+        result = run_scenario(spec, max_wall_time_s=args.max_wall_time)
+        scenario_id = _effective_id(args.name, scheduler, args.dynamics)
+        _write_bench(result, Path(args.out), scenario_id)
+        results.append(result)
+
+    print(f"scenario: {args.name}   seed: {results[0].seed}")
+    header = f"{'SCHEDULER':<12} {'MAKESPAN':>10} {'STAGED MB':>10} {'RETRIES':>8} " \
+             f"{'RESCHED':>8} {'UTIL %':>7} {'FAILED':>7}"
+    print(header)
+    best = min(r.makespan_s for r in results)
+    for result in results:
+        marker = " *" if result.makespan_s == best else ""
+        print(
+            f"{result.scheduler:<12} {result.makespan_s:>9.1f}s {result.staged_mb:>10.1f} "
+            f"{result.retries:>8} {result.rescheduled_tasks:>8} "
+            f"{result.mean_utilization_pct:>7.1f} {result.failed_tasks:>7}{marker}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative federated-FaaS scenarios (workload x topology "
+                    "x scheduler x dynamics) and emit machine-readable BENCH artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-scenarios", help="list the preset registry").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run-scenario", help="run one scenario preset")
+    run.add_argument("name", help="preset name (see list-scenarios)")
+    run.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    run.add_argument("--scheduler", choices=sorted(SCHEDULER_ALIASES), default=None,
+                     help="override the preset's scheduler")
+    run.add_argument("--dynamics", choices=["none", "churn", "crash", "chaos"], default=None,
+                     help="override the preset's dynamics regime")
+    run.add_argument("--scale", type=float, default=None,
+                     help="override the workload scale fraction")
+    run.add_argument("--out", default=".", help="directory for BENCH_<id>.json (default: cwd)")
+    run.add_argument("--max-wall-time", type=float, default=600.0,
+                     help="wall-clock budget for the run (seconds)")
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="run one scenario under several schedulers")
+    compare.add_argument("name", help="preset name (see list-scenarios)")
+    compare.add_argument("--schedulers", default="dha,heft,locality",
+                         help="comma-separated scheduler names (default: dha,heft,locality)")
+    compare.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    compare.add_argument("--dynamics", choices=["none", "churn", "crash", "chaos"],
+                         default=None, help="override the preset's dynamics regime")
+    compare.add_argument("--out", default=".", help="directory for BENCH artifacts")
+    compare.add_argument("--max-wall-time", type=float, default=600.0,
+                         help="wall-clock budget per run (seconds)")
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2

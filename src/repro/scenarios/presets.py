@@ -1,0 +1,239 @@
+"""Named scenario presets: the paper's regimes plus new chaos regimes.
+
+Each preset is a fully declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+the CLI can run by name (``python -m repro run-scenario <name>``).  The
+``paper-*`` presets reproduce the regime behind one figure or table of
+conf_ipps_LiCBCFL24 at benchmark scale; the ``chaos-*`` presets go beyond
+the paper, exercising the dynamics the schedulers are supposed to survive:
+endpoint crash/rejoin, stochastic worker churn, cold starts, wide-area
+brownouts and status-staleness spikes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.scenarios.dynamics import (
+    ChurnProcess,
+    CrashRejoinCycle,
+    DynamicsSpec,
+    TimelineEvent,
+)
+from repro.scenarios.spec import EndpointSpec, ScenarioSpec, WorkloadSpec
+
+__all__ = [
+    "SCENARIOS",
+    "get_scenario",
+    "resolve_dynamics",
+    "scenario_names",
+    "standard_dynamics",
+]
+
+#: The default three-site federation the synthetic presets run on: one fast
+#: large site, one reference site, one small slow-ish site — enough
+#: heterogeneity for DHA/HEFT to make non-trivial choices while staying fast.
+_TRIO = (
+    EndpointSpec(name="taiyi", cluster="taiyi", workers=24, max_workers=48),
+    EndpointSpec(name="qiming", cluster="qiming", workers=16, max_workers=32),
+    EndpointSpec(name="lab", cluster="lab", workers=8, max_workers=16),
+)
+
+_CHURN = ChurnProcess(mean_interval_s=45.0, max_delta_workers=6, start_s=15.0)
+
+
+def standard_dynamics(kind: str) -> DynamicsSpec:
+    """The named dynamics regimes the CLI's ``--dynamics`` flag accepts."""
+    if kind == "none":
+        return DynamicsSpec()
+    if kind == "churn":
+        return DynamicsSpec(churn=_CHURN, horizon_s=600.0)
+    if kind == "crash":
+        return DynamicsSpec(
+            crashes=CrashRejoinCycle(
+                crash_probability=0.5, earliest_s=40.0, latest_s=150.0, downtime_s=60.0
+            ),
+            horizon_s=600.0,
+        )
+    if kind == "chaos":
+        return DynamicsSpec(
+            churn=_CHURN,
+            crashes=CrashRejoinCycle(
+                crash_probability=0.4, earliest_s=40.0, latest_s=200.0, downtime_s=45.0
+            ),
+            horizon_s=600.0,
+        )
+    raise ValueError(f"unknown dynamics regime {kind!r}; expected none/churn/crash/chaos")
+
+
+def _build_registry() -> Dict[str, ScenarioSpec]:
+    presets: List[ScenarioSpec] = [
+        # ------------------------------------------------- paper regimes
+        ScenarioSpec(
+            name="paper-static-montage",
+            description="Montage on the static four-site testbed regime (Table IV / Figs. 9-11)",
+            workload=WorkloadSpec(kind="montage", scale=0.01),
+            topology=(
+                EndpointSpec(name="taiyi", cluster="taiyi", workers=12),
+                EndpointSpec(name="qiming", cluster="qiming", workers=24),
+                EndpointSpec(name="dept", cluster="dept", workers=8),
+                EndpointSpec(name="lab", cluster="lab", workers=8),
+            ),
+            scheduler="DHA",
+        ),
+        ScenarioSpec(
+            name="paper-dynamic-drug",
+            description="Drug screening with mid-run capacity changes (Table V / Fig. 12 regime)",
+            workload=WorkloadSpec(kind="drug_screening", scale=0.008),
+            topology=(
+                EndpointSpec(name="taiyi", cluster="taiyi", workers=16, max_workers=64),
+                EndpointSpec(name="qiming", cluster="qiming", workers=24, max_workers=64),
+                EndpointSpec(name="lab", cluster="lab", workers=8, max_workers=16),
+            ),
+            scheduler="DHA",
+            dynamics=DynamicsSpec(
+                scripted=(
+                    TimelineEvent(at_s=120.0, action="churn", endpoint="qiming", value=24.0),
+                    TimelineEvent(at_s=540.0, action="churn", endpoint="taiyi", value=-10.0),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="paper-elastic-stress",
+            description="Stress tasks with elastic scale-out enabled (Fig. 7 regime)",
+            workload=WorkloadSpec(kind="stress", task_count=240, duration_s=6.0, output_mb=0.0),
+            topology=(
+                EndpointSpec(name="taiyi", cluster="taiyi", workers=4, max_workers=48,
+                             auto_scale=True),
+                EndpointSpec(name="qiming", cluster="qiming", workers=4, max_workers=32,
+                             auto_scale=True),
+            ),
+            scheduler="DHA",
+            enable_scaling=True,
+        ),
+        # -------------------------------------------------- chaos regimes
+        ScenarioSpec(
+            name="chaos-churn-dha",
+            description="Layered DAG under seeded-stochastic worker churn, DHA scheduler",
+            workload=WorkloadSpec(kind="layered", task_count=300, duration_s=4.0,
+                                  output_mb=5.0, layer_width=30),
+            topology=_TRIO,
+            scheduler="DHA",
+            dynamics=standard_dynamics("churn"),
+        ),
+        ScenarioSpec(
+            name="chaos-crash-rejoin",
+            description="Scripted mid-run endpoint crash, cold rejoin after 60 s of downtime",
+            workload=WorkloadSpec(kind="layered", task_count=300, duration_s=4.0,
+                                  output_mb=5.0, layer_width=30),
+            topology=(
+                EndpointSpec(name="taiyi", cluster="taiyi", workers=24, max_workers=48,
+                             cold_start_penalty_s=2.0),
+                EndpointSpec(name="qiming", cluster="qiming", workers=16, max_workers=32),
+                EndpointSpec(name="lab", cluster="lab", workers=8, max_workers=16),
+            ),
+            scheduler="DHA",
+            dynamics=DynamicsSpec(
+                scripted=(
+                    TimelineEvent(at_s=45.0, action="crash", endpoint="taiyi"),
+                    TimelineEvent(at_s=105.0, action="rejoin", endpoint="taiyi", value=24.0),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="chaos-network-brownout",
+            description="Staging-heavy Montage through a 120 s wide-area bandwidth brownout",
+            workload=WorkloadSpec(kind="montage", scale=0.008),
+            topology=(
+                EndpointSpec(name="taiyi", cluster="taiyi", workers=12),
+                EndpointSpec(name="qiming", cluster="qiming", workers=16),
+                EndpointSpec(name="lab", cluster="lab", workers=8),
+            ),
+            scheduler="DHA",
+            bandwidth_mbps=80.0,
+            dynamics=DynamicsSpec(
+                scripted=(
+                    TimelineEvent(at_s=30.0, action="net_degrade", value=0.25,
+                                  duration_s=120.0),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="chaos-stale-status",
+            description="Worker churn while the service's status cache goes stale (x8 spike)",
+            workload=WorkloadSpec(kind="layered", task_count=250, duration_s=4.0,
+                                  output_mb=2.0, layer_width=25),
+            topology=_TRIO,
+            scheduler="DHA",
+            dynamics=DynamicsSpec(
+                scripted=(
+                    TimelineEvent(at_s=20.0, action="staleness", value=480.0,
+                                  duration_s=240.0),
+                ),
+                churn=_CHURN,
+                horizon_s=400.0,
+            ),
+        ),
+        ScenarioSpec(
+            name="chaos-coldstart-churn",
+            description="Cold-start penalties on every endpoint plus stochastic churn",
+            workload=WorkloadSpec(kind="layered", task_count=250, duration_s=3.0,
+                                  output_mb=2.0, layer_width=25),
+            topology=(
+                EndpointSpec(name="taiyi", cluster="taiyi", workers=24, max_workers=48,
+                             cold_start_penalty_s=1.5),
+                EndpointSpec(name="qiming", cluster="qiming", workers=16, max_workers=32,
+                             cold_start_penalty_s=1.5),
+                EndpointSpec(name="lab", cluster="lab", workers=8, max_workers=16,
+                             cold_start_penalty_s=1.5),
+            ),
+            scheduler="DHA",
+            dynamics=DynamicsSpec(
+                scripted=(
+                    TimelineEvent(at_s=10.0, action="cold_window", endpoint="taiyi",
+                                  value=1.5, duration_s=60.0),
+                ),
+                churn=_CHURN,
+                horizon_s=400.0,
+            ),
+        ),
+        # --------------------------------------------------- CI workhorse
+        ScenarioSpec(
+            name="ci-smoke",
+            description="Small, fast scenario for the CI matrix (seconds, not minutes)",
+            workload=WorkloadSpec(kind="layered", task_count=120, duration_s=2.0,
+                                  output_mb=1.0, layer_width=20),
+            topology=(
+                EndpointSpec(name="site_a", cluster="qiming", workers=12, max_workers=24),
+                EndpointSpec(name="site_b", cluster="lab", workers=8, max_workers=16),
+            ),
+            scheduler="DHA",
+        ),
+    ]
+    registry = {}
+    for preset in presets:
+        if preset.name in registry:
+            raise ValueError(f"duplicate scenario preset {preset.name!r}")
+        registry[preset.name] = preset
+    return registry
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = _build_registry()
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+def resolve_dynamics(kind: Optional[str], preset: ScenarioSpec) -> ScenarioSpec:
+    """Apply a ``--dynamics`` override (None keeps the preset's own)."""
+    if kind is None:
+        return preset
+    return preset.with_overrides(dynamics=standard_dynamics(kind))

@@ -1,0 +1,373 @@
+"""Declarative scenario specs and the runner that executes them.
+
+A :class:`ScenarioSpec` composes the four axes of an experiment —
+
+* **workload** (:class:`WorkloadSpec`): which DAG generator runs, at what
+  scale;
+* **topology** (:class:`EndpointSpec` list): which endpoints exist, on which
+  Table II cluster class, with how many workers;
+* **scheduler**: strategy name plus the DHA mechanism toggles;
+* **dynamics** (:class:`~repro.scenarios.dynamics.DynamicsSpec`): what goes
+  wrong, and when —
+
+into one reproducible unit.  :func:`run_scenario` builds the simulated
+federation, installs the dynamics timeline, executes the workflow and
+returns a :class:`ScenarioResult` whose :meth:`~ScenarioResult.to_json`
+payload is byte-identical across runs with the same spec and seed (the
+property CI's determinism digest gates on): every field is derived from
+simulated time, never from wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.client import UniFaaSClient
+from repro.core.dag import TaskState
+from repro.engine.events import Event
+from repro.experiments.environment import EndpointSetup, SimulationEnvironment, build_simulation
+from repro.faas.types import ServiceLatencyModel
+from repro.scenarios.dynamics import DynamicsInjector, DynamicsSpec, TimelineEvent
+from repro.sim.hardware import ClusterSpec, testbed_clusters
+from repro.sim.network import NetworkModel
+from repro.workloads.drug_screening import DRUG_SCREENING_TYPES, build_drug_screening_workflow
+from repro.workloads.montage import MONTAGE_TYPES, build_montage_workflow
+from repro.workloads.spec import TaskTypeSpec, WorkloadInfo, make_task_type
+from repro.workloads.synthetic import build_stress_workload
+
+__all__ = [
+    "EndpointSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "run_scenario",
+]
+
+#: Scheduler names the CLI accepts, mapped to Config strategy names.
+SCHEDULER_ALIASES = {
+    "dha": "DHA",
+    "heft": "HEFT",
+    "locality": "LOCALITY",
+    "capacity": "CAPACITY",
+    "round_robin": "ROUND_ROBIN",
+    "roundrobin": "ROUND_ROBIN",
+}
+
+
+@dataclass(frozen=True)
+class EndpointSpec:
+    """One endpoint of a scenario topology."""
+
+    name: str
+    #: Table II cluster class ("taiyi", "qiming", "dept", "lab",
+    #: "workstation") whose hardware/speed the endpoint inherits.
+    cluster: str = "qiming"
+    workers: int = 16
+    max_workers: Optional[int] = None
+    auto_scale: bool = False
+    failure_rate: float = 0.0
+    cold_start_penalty_s: float = 0.0
+
+    def to_setup(self) -> EndpointSetup:
+        clusters = testbed_clusters()
+        if self.cluster not in clusters:
+            raise ValueError(
+                f"unknown cluster {self.cluster!r}; expected one of {sorted(clusters)}"
+            )
+        cluster: ClusterSpec = clusters[self.cluster]
+        # Scenario runs are latency-focused, not queue-delay-focused: drop
+        # the batch-queue delays so small scenarios stay fast and exact.
+        cluster = cluster.with_overrides(queue_delay_mean_s=0.0, queue_delay_std_s=0.0)
+        return EndpointSetup(
+            name=self.name,
+            cluster=cluster,
+            initial_workers=self.workers,
+            max_workers=self.max_workers or max(self.workers, cluster.workers_per_node),
+            auto_scale=self.auto_scale,
+            failure_rate=self.failure_rate,
+            duration_jitter=0.0,
+            execution_overhead_s=0.0,
+            cold_start_penalty_s=self.cold_start_penalty_s,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which workflow generator a scenario runs, and how big."""
+
+    #: "montage", "drug_screening", "stress" or "layered".
+    kind: str
+    #: Fraction of the paper-scale workflow (montage / drug_screening).
+    scale: float = 0.02
+    #: Task count for the synthetic generators (stress / layered).
+    task_count: int = 200
+    #: Per-task duration for the synthetic generators.
+    duration_s: float = 4.0
+    #: Output data per synthetic task (drives staging traffic).
+    output_mb: float = 5.0
+    #: Layer width of the "layered" DAG generator.
+    layer_width: int = 25
+
+    def build(self, client: UniFaaSClient) -> WorkloadInfo:
+        if self.kind == "montage":
+            return build_montage_workflow(client, scale=self.scale)
+        if self.kind == "drug_screening":
+            return build_drug_screening_workflow(client, scale=self.scale)
+        if self.kind == "stress":
+            return build_stress_workload(
+                client, self.task_count, self.duration_s, output_mb=self.output_mb
+            )
+        if self.kind == "layered":
+            return _build_layered_workload(client, self)
+        raise ValueError(f"unknown workload kind {self.kind!r}")
+
+    def task_types(self) -> List[TaskTypeSpec]:
+        """Task types to pre-train the execution profiler with."""
+        if self.kind == "montage":
+            return list(MONTAGE_TYPES.values())
+        if self.kind == "drug_screening":
+            return list(DRUG_SCREENING_TYPES.values())
+        if self.kind == "stress":
+            return [TaskTypeSpec(name=f"stress_{self.duration_s:g}s",
+                                 duration_s=self.duration_s, output_mb=self.output_mb)]
+        return [_layered_task_type(self)]
+
+
+def _layered_task_type(workload: WorkloadSpec) -> TaskTypeSpec:
+    return TaskTypeSpec(
+        name="layer_task", duration_s=workload.duration_s, output_mb=workload.output_mb
+    )
+
+
+def _build_layered_workload(client: UniFaaSClient, workload: WorkloadSpec) -> WorkloadInfo:
+    """A layered DAG: each task depends on two tasks of the previous layer.
+
+    The same shape as the engine-throughput benchmark — wide enough to keep
+    every endpoint busy, deep enough that crashes hit tasks with successors.
+    """
+    spec = _layered_task_type(workload)
+    fn = make_task_type(spec)
+    info = WorkloadInfo(name="layered_dag")
+    with client:
+        previous: List = []
+        while info.task_count < workload.task_count:
+            layer_size = min(workload.layer_width, workload.task_count - info.task_count)
+            layer = []
+            for i in range(layer_size):
+                if previous:
+                    parents = (previous[i % len(previous)], previous[(i + 1) % len(previous)])
+                else:
+                    parents = ()
+                future = fn(*parents)
+                info.register(future, spec.name, spec.duration_s, spec.output_mb)
+                layer.append(future)
+            previous = layer
+    return info
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully declarative scenario: workload x topology x scheduler x dynamics."""
+
+    name: str
+    description: str
+    workload: WorkloadSpec
+    topology: Tuple[EndpointSpec, ...]
+    scheduler: str = "DHA"
+    dynamics: DynamicsSpec = field(default_factory=DynamicsSpec)
+    seed: int = 0
+    enable_scaling: bool = False
+    enable_delay_mechanism: bool = True
+    enable_rescheduling: bool = True
+    #: Uniform inter-endpoint bandwidth (MB/s) of the scenario network.
+    bandwidth_mbps: float = 150.0
+    max_task_retries: int = 2
+    #: Shorter cadences than the paper defaults so small scenarios exercise
+    #: the periodic machinery (sync, rescheduling) within their makespans.
+    endpoint_sync_interval_s: float = 15.0
+    rescheduling_interval_s: float = 20.0
+    #: Pre-train the profilers with ground truth (the paper's warm regime).
+    seed_knowledge: bool = True
+
+    def with_overrides(
+        self,
+        *,
+        scheduler: Optional[str] = None,
+        seed: Optional[int] = None,
+        dynamics: Optional[DynamicsSpec] = None,
+        scale: Optional[float] = None,
+    ) -> "ScenarioSpec":
+        """A copy with CLI-level overrides applied."""
+        spec = self
+        if scheduler is not None:
+            canonical = SCHEDULER_ALIASES.get(scheduler.lower())
+            if canonical is None:
+                raise ValueError(
+                    f"unknown scheduler {scheduler!r}; expected one of {sorted(SCHEDULER_ALIASES)}"
+                )
+            spec = dataclasses.replace(spec, scheduler=canonical)
+        if seed is not None:
+            spec = dataclasses.replace(spec, seed=seed)
+        if dynamics is not None:
+            spec = dataclasses.replace(spec, dynamics=dynamics)
+        if scale is not None:
+            spec = dataclasses.replace(
+                spec, workload=dataclasses.replace(spec.workload, scale=scale)
+            )
+        return spec
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run reports, all derived from simulated time."""
+
+    scenario: str
+    scheduler: str
+    seed: int
+    makespan_s: float
+    total_tasks: int
+    completed_tasks: int
+    failed_tasks: int
+    #: Data the staging pipeline actually moved between endpoints (MB).
+    staged_mb: float
+    #: Execution attempts beyond each task's first (retries + reassignments).
+    retries: int
+    rescheduled_tasks: int
+    mean_utilization_pct: float
+    tasks_per_endpoint: Dict[str, int]
+    #: Dynamics events that actually fired, in firing order.
+    dynamics_fired: List[Dict[str, object]]
+    #: SHA-256 over the engine's full event log + the dynamics timeline.
+    determinism_digest: str
+    #: Simulated makespan per extra diagnostic (endpoint crash count etc.).
+    endpoint_crashes: int = 0
+
+    def to_json(self) -> str:
+        """Canonical, byte-stable JSON payload (sorted keys, fixed floats)."""
+        payload = {
+            "scenario": self.scenario,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "metrics": {
+                "makespan_s": round(self.makespan_s, 6),
+                "total_tasks": self.total_tasks,
+                "completed_tasks": self.completed_tasks,
+                "failed_tasks": self.failed_tasks,
+                "staged_mb": round(self.staged_mb, 6),
+                "retries": self.retries,
+                "rescheduled_tasks": self.rescheduled_tasks,
+                "mean_utilization_pct": round(self.mean_utilization_pct, 6),
+                "tasks_per_endpoint": {
+                    k: self.tasks_per_endpoint[k] for k in sorted(self.tasks_per_endpoint)
+                },
+                "endpoint_crashes": self.endpoint_crashes,
+            },
+            "dynamics": {
+                "fired": self.dynamics_fired,
+                "count": len(self.dynamics_fired),
+            },
+            "determinism_digest": self.determinism_digest,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class _EventLogRecorder:
+    """Collects every bus event's identity tuple for the determinism digest."""
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple] = []
+
+    def __call__(self, event: Event) -> None:
+        self.entries.append((round(event.time, 9),) + event.describe())
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    seed: Optional[int] = None,
+    max_wall_time_s: float = 600.0,
+) -> ScenarioResult:
+    """Execute ``spec`` and return its deterministic result record."""
+    seed = spec.seed if seed is None else seed
+    setups = [endpoint.to_setup() for endpoint in spec.topology]
+    names = [s.name for s in setups]
+    network = NetworkModel.uniform(
+        names, bandwidth_mbps=spec.bandwidth_mbps, jitter=0.0, seed=seed
+    )
+    latency = ServiceLatencyModel()
+    env: SimulationEnvironment = build_simulation(
+        setups, network=network, latency=latency, seed=seed
+    )
+    config = env.make_config(
+        spec.scheduler,
+        enable_delay_mechanism=spec.enable_delay_mechanism,
+        enable_rescheduling=spec.enable_rescheduling,
+        enable_scaling=spec.enable_scaling,
+        max_task_retries=spec.max_task_retries,
+        endpoint_sync_interval_s=spec.endpoint_sync_interval_s,
+        rescheduling_interval_s=spec.rescheduling_interval_s,
+        random_seed=seed,
+    )
+    client = env.make_client(config)
+    if spec.seed_knowledge:
+        env.seed_full_knowledge(client)
+        env.seed_execution_knowledge(client, spec.workload.task_types())
+
+    recorder = _EventLogRecorder()
+    client.bus.subscribe_all(recorder)
+
+    timeline = spec.dynamics.compile(names, env.rng.stream("dynamics"))
+    injector = DynamicsInjector(env, client.engine)
+    injector.install(timeline)
+
+    info = spec.workload.build(client)
+    client.run(max_wall_time_s=max_wall_time_s)
+
+    return _collect_result(spec, seed, client, info, timeline, injector, recorder)
+
+
+def _collect_result(
+    spec: ScenarioSpec,
+    seed: int,
+    client: UniFaaSClient,
+    info: WorkloadInfo,
+    timeline: List[TimelineEvent],
+    injector: DynamicsInjector,
+    recorder: _EventLogRecorder,
+) -> ScenarioResult:
+    summary = client.summary()
+    graph = client.graph
+    retries = 0
+    for task in graph:
+        if task.attempts > 1:
+            retries += task.attempts - 1
+    crashes = sum(
+        getattr(client.fabric.endpoint(name), "crash_count", 0)
+        for name in client.fabric.endpoint_names()
+    )
+
+    digest = hashlib.sha256()
+    digest.update(repr([e.as_dict() for e in timeline]).encode())
+    digest.update(repr(recorder.entries).encode())
+
+    return ScenarioResult(
+        scenario=spec.name,
+        scheduler=spec.scheduler,
+        seed=seed,
+        makespan_s=summary.makespan_s,
+        total_tasks=info.task_count,
+        completed_tasks=graph.state_count(TaskState.COMPLETED),
+        failed_tasks=graph.state_count(TaskState.FAILED),
+        staged_mb=client.data_manager.total_transferred_mb,
+        retries=retries,
+        rescheduled_tasks=summary.rescheduled_tasks,
+        mean_utilization_pct=summary.mean_worker_utilization,
+        tasks_per_endpoint=dict(summary.tasks_per_endpoint),
+        dynamics_fired=[e.as_dict() for e in injector.fired],
+        determinism_digest=digest.hexdigest(),
+        endpoint_crashes=crashes,
+    )

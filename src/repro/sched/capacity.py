@@ -84,7 +84,7 @@ class CapacityScheduler(Scheduler):
 
     # -------------------------------------------------------------- scheduling
     def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:
-        context = self._require_context()
+        self._require_context()
         placements: List[Placement] = []
         missing = [t for t in ready_tasks if t.task_id not in self._assignment]
         if missing:

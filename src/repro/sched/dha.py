@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.dag import Task, TaskState
+from repro.core.dag import Task
 from repro.sched.base import Placement, Scheduler, SchedulingContext
 
 __all__ = ["DHAScheduler"]
@@ -89,7 +89,7 @@ class DHAScheduler(Scheduler):
 
     # -------------------------------------------------------------- scheduling
     def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:
-        context = self._require_context()
+        self._require_context()
         placements: List[Placement] = []
         missing = [t for t in ready_tasks if t.task_id not in self._priorities]
         if missing:
@@ -147,7 +147,7 @@ class DHAScheduler(Scheduler):
         if endpoint is None:
             return False
         # Dispatch only when the (mocked) endpoint can start the task now.
-        return context.endpoint_monitor.free_capacity(endpoint) >= task.sim_profile.cores
+        return context.endpoint_monitor.free_capacity(endpoint) >= task.cores
 
     def on_task_dispatched(self, task: Task, endpoint: str) -> None:
         super().on_task_dispatched(task, endpoint)
@@ -180,7 +180,7 @@ class DHAScheduler(Scheduler):
             if current is None:
                 continue
             # Only steal tasks whose current endpoint cannot start them now.
-            if context.endpoint_monitor.free_capacity(current) >= task.sim_profile.cores:
+            if context.endpoint_monitor.free_capacity(current) >= task.cores:
                 continue
             candidates = [name for name, free in spare.items() if free > 0 and name != current]
             if not candidates:

@@ -34,7 +34,7 @@ class LocalityScheduler(Scheduler):
             candidates = [
                 name
                 for name in context.endpoint_names()
-                if self.unclaimed_free_capacity(name) >= task.sim_profile.cores
+                if self.unclaimed_free_capacity(name) >= task.cores
             ]
             if not candidates:
                 break  # no idle resources anywhere; try again on the next pump

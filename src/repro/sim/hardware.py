@@ -21,7 +21,7 @@ task faster) and can be overridden per experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 __all__ = [

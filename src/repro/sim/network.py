@@ -105,6 +105,11 @@ class NetworkModel:
         #: Number of in-flight transfers per (src, dst) pair, maintained by the
         #: data manager so that concurrent transfers share the link.
         self._active: Dict[Tuple[str, str], int] = {}
+        #: Fabric-wide bandwidth multiplier; a degradation window (scenario
+        #: dynamics) drops it below 1.0 and restores it afterwards.  Transfers
+        #: sample their duration at start time, so only transfers starting
+        #: inside the window are slowed — like a real WAN brownout.
+        self._bandwidth_scale = 1.0
 
     # ----------------------------------------------------------------- links
     def set_link(self, src: str, dst: str, link: LinkSpec, symmetric: bool = True) -> None:
@@ -141,6 +146,17 @@ class NetworkModel:
     def active_transfers(self, src: str, dst: str) -> int:
         return self._active.get((src, dst), 0)
 
+    # ------------------------------------------------------------ degradation
+    @property
+    def bandwidth_scale(self) -> float:
+        return self._bandwidth_scale
+
+    def set_bandwidth_scale(self, scale: float) -> None:
+        """Scale every link's bandwidth (1.0 = nominal, <1.0 = degraded)."""
+        if scale <= 0:
+            raise ValueError("bandwidth scale must be positive")
+        self._bandwidth_scale = scale
+
     # -------------------------------------------------------------- modeling
     def effective_bandwidth(
         self, src: str, dst: str, mechanism: str = "globus", concurrency: Optional[int] = None
@@ -149,7 +165,7 @@ class NetworkModel:
         link = self.link(src, dst)
         efficiency = MECHANISM_EFFICIENCY.get(mechanism, 0.8)
         sharing = max(1, concurrency if concurrency is not None else self.active_transfers(src, dst))
-        return link.bandwidth_mbps * efficiency / sharing
+        return link.bandwidth_mbps * self._bandwidth_scale * efficiency / sharing
 
     def estimate(
         self,

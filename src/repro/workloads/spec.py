@@ -9,7 +9,7 @@ evaluation exercises exactly the code path a user would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.functions import FederatedFunction, SimProfile
 from repro.core.futures import UniFuture

@@ -8,7 +8,7 @@ exercise the engine against arbitrary dependency structures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

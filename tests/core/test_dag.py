@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.core.dag import Task, TaskGraph, TaskState
 from repro.core.exceptions import WorkflowError
 from repro.core.functions import SimProfile, function
-from repro.core.futures import UniFuture
+
 
 
 @function(sim_profile=SimProfile(base_time_s=5.0))

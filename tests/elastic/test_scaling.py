@@ -1,6 +1,5 @@
 """Tests for the multi-endpoint scaling strategies."""
 
-import pytest
 
 from repro.elastic.scaling import (
     DefaultScalingStrategy,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.functions import SimProfile, function
 from repro.engine.bus import EventBus
-from repro.engine.events import CapacityChanged, Event, TaskReady
+from repro.engine.events import CapacityChanged, TaskReady
 
 from tests.integration.conftest import build_two_site_env
 

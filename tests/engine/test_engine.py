@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.dag import Task, TaskState
+from repro.core.dag import Task
 from repro.core.exceptions import SchedulingError
 from repro.core.functions import SimProfile, function
 from repro.engine.state import TaskIndex

@@ -7,7 +7,6 @@ fabrics, so the sequence of (event type, function name) pairs must match
 exactly — only the timestamps (simulated vs wall clock) differ.
 """
 
-import pytest
 
 from repro.core.config import Config, ExecutorSpec
 from repro.core.client import UniFaaSClient

@@ -7,7 +7,7 @@ from repro.core.exceptions import TaskFailedError
 from repro.core.functions import SimProfile, function
 from repro.engine.events import TaskFailed, TaskPlaced
 from repro.experiments.environment import build_simulation, EndpointSetup
-from repro.faas.types import ServiceLatencyModel, TaskExecutionRecord
+from repro.faas.types import TaskExecutionRecord
 
 from tests.integration.conftest import build_two_site_env, fast_latency, small_cluster
 

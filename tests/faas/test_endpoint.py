@@ -6,7 +6,6 @@ import pytest
 from repro.core.exceptions import EndpointError
 from repro.faas.endpoint import CapacityChange, SimulatedEndpoint
 from repro.faas.types import TaskExecutionRequest
-from repro.sim.kernel import SimulationKernel
 
 from tests.faas.conftest import make_request, small_cluster
 

@@ -113,7 +113,8 @@ class TestSchedulerBehaviours:
         env = build_two_site_env(speed_a=1.0, speed_b=2.0)
         client = env.make_client(env.make_config("DHA"))
         with client:
-            futures = [stage_one() for _ in range(20)]
+            for _ in range(20):
+                stage_one()
             client.run()
         counts = client.summary().tasks_per_endpoint
         assert counts.get("site_b", 0) > counts.get("site_a", 0)
@@ -133,7 +134,8 @@ class TestSchedulerBehaviours:
         client = env.make_client(env.make_config("LOCALITY"))
         inputs = [GlobusFile(f"in{i}", size_mb=200.0, location="site_b") for i in range(8)]
         with client:
-            futures = [stage_one(f) for f in inputs]
+            for f in inputs:
+                stage_one(f)
             client.run()
         counts = client.summary().tasks_per_endpoint
         assert counts.get("site_b", 0) >= 7

@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro`` scenario CLI."""
+
+import json
+
+from repro.scenarios.cli import main
+
+
+class TestListScenarios:
+    def test_lists_presets(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos-churn-dha" in out
+        assert "ci-smoke" in out
+
+
+class TestRunScenario:
+    def test_writes_bench_artifact(self, tmp_path, capsys):
+        assert main(["run-scenario", "ci-smoke", "--out", str(tmp_path)]) == 0
+        artifact = tmp_path / "BENCH_ci-smoke.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["scenario"] == "ci-smoke"
+        assert payload["metrics"]["completed_tasks"] == payload["metrics"]["total_tasks"]
+        assert payload["determinism_digest"]
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_overrides_land_in_artifact_name(self, tmp_path):
+        assert main([
+            "run-scenario", "ci-smoke", "--scheduler", "locality",
+            "--dynamics", "none", "--out", str(tmp_path),
+        ]) == 0
+        artifact = tmp_path / "BENCH_ci-smoke-locality-none.json"
+        assert artifact.exists()
+        assert json.loads(artifact.read_text())["scheduler"] == "LOCALITY"
+
+    def test_seed_override_changes_digest_under_churn(self, tmp_path):
+        for seed in ("1", "2"):
+            assert main([
+                "run-scenario", "ci-smoke", "--dynamics", "churn",
+                "--seed", seed, "--out", str(tmp_path / seed),
+            ]) == 0
+        a = json.loads((tmp_path / "1" / "BENCH_ci-smoke-churn.json").read_text())
+        b = json.loads((tmp_path / "2" / "BENCH_ci-smoke-churn.json").read_text())
+        assert a["determinism_digest"] != b["determinism_digest"]
+        assert a["dynamics"]["fired"] != b["dynamics"]["fired"]
+
+    def test_unknown_scenario_fails(self, capsys):
+        assert main(["run-scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_writes_one_artifact_per_scheduler(self, tmp_path, capsys):
+        assert main([
+            "compare", "ci-smoke", "--schedulers", "dha,locality",
+            "--out", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "BENCH_ci-smoke-dha.json").exists()
+        assert (tmp_path / "BENCH_ci-smoke-locality.json").exists()
+        out = capsys.readouterr().out
+        assert "SCHEDULER" in out
+        assert "DHA" in out and "LOCALITY" in out
