@@ -60,8 +60,13 @@ def _build_client():
     env = build_simulation(setups, network=network, latency=latency, seed=0)
     # Warm-profiler regime: models are pre-trained below and not retrained
     # mid-run, so every cache invalidation in the measurement window comes
-    # from actual state changes, not from periodic retraining.
-    config = env.make_config("DHA", profiler_update_interval_s=3600.0)
+    # from actual state changes, not from periodic retraining.  Pinned to the
+    # scalar reference scheduler: this benchmark anchors the scalar path and
+    # its memoization layer (the vectorized hot path has its own gate in
+    # benchmarks/test_sched_vector_scale.py).
+    config = env.make_config(
+        "DHA", profiler_update_interval_s=3600.0, enable_vectorized_scheduling=False
+    )
     client = env.make_client(config)
     env.seed_full_knowledge(client)
     env.seed_execution_knowledge(client, [BENCH_SPEC])

@@ -71,6 +71,9 @@ class Config:
     enable_delay_mechanism: bool = True
     #: Enable DHA's re-scheduling / task stealing mechanism.
     enable_rescheduling: bool = True
+    #: Run DHA/HEFT on the array-backed vectorized hot path (byte-identical
+    #: decisions to the scalar reference; disable to run the reference).
+    enable_vectorized_scheduling: bool = True
     #: Enable multi-endpoint elastic scaling (§IV-H).
     enable_scaling: bool = True
     #: Batch size used when submitting tasks / polling results (§IV-H).

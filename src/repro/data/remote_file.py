@@ -21,9 +21,25 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, List, Optional, Set
 
-__all__ = ["RemoteFile", "GlobusFile", "RsyncFile", "RemoteDirectory"]
+__all__ = ["RemoteFile", "GlobusFile", "RsyncFile", "RemoteDirectory", "location_version"]
 
 _file_counter = itertools.count()
+
+#: Global generation counter over every file's replica set.  Consumers that
+#: cache location-dependent values (the array-backed scheduling context's
+#: staging-time matrix) stamp their entries with it instead of tracking each
+#: file individually — replica changes are rare relative to predictions read.
+_location_version = 0
+
+
+def location_version() -> int:
+    """Current replica-set generation (bumped on any location change)."""
+    return _location_version
+
+
+def _bump_location_version() -> None:
+    global _location_version
+    _location_version += 1
 
 
 class RemoteFile:
@@ -48,6 +64,7 @@ class RemoteFile:
         self.locations: Set[str] = set()
         if location is not None:
             self.locations.add(location)
+            _bump_location_version()
         self.local_path = local_path
 
     # ------------------------------------------------------------- interface
@@ -85,10 +102,14 @@ class RemoteFile:
         return endpoint in self.locations
 
     def add_location(self, endpoint: str) -> None:
-        self.locations.add(endpoint)
+        if endpoint not in self.locations:
+            self.locations.add(endpoint)
+            _bump_location_version()
 
     def remove_location(self, endpoint: str) -> None:
-        self.locations.discard(endpoint)
+        if endpoint in self.locations:
+            self.locations.discard(endpoint)
+            _bump_location_version()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -138,7 +138,10 @@ class ExecutionEngine:
                 kwargs = dict(
                     enable_delay_mechanism=config.enable_delay_mechanism,
                     enable_rescheduling=config.enable_rescheduling,
+                    vectorized=config.enable_vectorized_scheduling,
                 )
+            elif config.strategy == "HEFT":
+                kwargs = dict(vectorized=config.enable_vectorized_scheduling)
             self.scheduler = create_scheduler(config.strategy, **kwargs)
 
         # Elasticity.
@@ -394,8 +397,9 @@ class ExecutionEngine:
         task.result = result_value
         if self.context is not None:
             # Evict the finished task's own entries (never queried again in a
-            # static DAG) so the caches stay bounded by the live task set.
-            self.context.invalidate_task(task.task_id)
+            # static DAG) so the caches — and the array-backed matrices,
+            # whose row is recycled — stay bounded by the live task set.
+            self.context.release_task(task.task_id)
             if task.output_files:
                 # A completed task with output changes its consumers'
                 # input-size estimates (they now see real files instead of

@@ -58,7 +58,7 @@ class FailureCoordinator:
         task = event.task
         engine.index.clear_undispatched(task.task_id)
         if engine.context is not None:
-            engine.context.invalidate_task(task.task_id)
+            engine.context.release_task(task.task_id)
         engine.graph.set_state(task.task_id, TaskState.FAILED, now=engine.clock.now())
         error = TransferFailedError(
             event.ticket_id, "unknown", event.endpoint, engine.config.max_transfer_retries
@@ -136,7 +136,7 @@ class FailureCoordinator:
                 candidates = [e for e in all_endpoints if e not in task.failed_endpoints]
             if not candidates:
                 if engine.context is not None:
-                    engine.context.invalidate_task(task.task_id)
+                    engine.context.release_task(task.task_id)
                 engine.graph.set_state(task.task_id, TaskState.FAILED, now=engine.clock.now())
                 error = TaskFailedError(
                     task.task_id, record.error or "unknown error", task.attempts

@@ -46,6 +46,10 @@ class PeriodicCoordinator:
         self._last_reschedule = 0.0
         self._last_scaling_check = 0.0
         self._last_metrics_sample = 0.0
+        #: Re-scheduling candidates cached against the undispatched-set epoch
+        #: (membership changes bump it; targets and states are re-checked).
+        self._resched_cache_epoch = -1
+        self._resched_cache: list = []
 
     # ------------------------------------------------------------------ tick
     def check(self) -> None:
@@ -78,12 +82,16 @@ class PeriodicCoordinator:
     # ---------------------------------------------------------- re-scheduling
     def run_rescheduling(self) -> None:
         engine = self._engine
+        index = engine.index
+        if not index.undispatched_count:
+            return
         graph = engine.graph
-        candidates = [
-            graph.get(task_id)
-            for task_id in engine.index.undispatched_ids()
-            if task_id in graph and graph.get(task_id).state in _RESCHEDULABLE
-        ]
+        if self._resched_cache_epoch != index.undispatched_epoch:
+            self._resched_cache_epoch = index.undispatched_epoch
+            self._resched_cache = [
+                graph.get(task_id) for task_id in index.undispatched_ids() if task_id in graph
+            ]
+        candidates = [t for t in self._resched_cache if t.state in _RESCHEDULABLE]
         if not candidates:
             return
         t0 = _time.perf_counter()

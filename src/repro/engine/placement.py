@@ -43,9 +43,12 @@ class PlacementCoordinator:
         if not candidates:
             return False
 
-        # Endpoint-pinned tasks bypass the scheduler entirely.
+        # Endpoint-pinned tasks bypass the scheduler entirely (the common
+        # case has none, so skip the second scan then).
         pinned = [t for t in candidates if t.assigned_endpoint is not None]
-        unpinned = [t for t in candidates if t.assigned_endpoint is None]
+        unpinned = (
+            candidates if not pinned else [t for t in candidates if t.assigned_endpoint is None]
+        )
 
         placements = []
         if unpinned:

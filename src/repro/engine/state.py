@@ -36,6 +36,10 @@ class TaskIndex:
         self._pending_schedule: Dict[str, Task] = {}
         self._undispatched: Dict[str, str] = {}  # task_id -> endpoint
         self._undispatched_counts: Dict[str, int] = {}
+        #: Bumped whenever the undispatched set's *membership* changes; the
+        #: periodic re-scheduling pass caches its candidate list keyed by
+        #: this instead of re-materialising it every cadence.
+        self.undispatched_epoch = 0
 
     # ------------------------------------------------------ scheduling queue
     def enqueue(self, task: Task) -> None:
@@ -61,6 +65,8 @@ class TaskIndex:
             return
         if previous is not None:
             self._decrement(previous)
+        else:
+            self.undispatched_epoch += 1  # membership (not target) changed
         self._undispatched[task_id] = endpoint
         self._undispatched_counts[endpoint] = self._undispatched_counts.get(endpoint, 0) + 1
 
@@ -69,6 +75,7 @@ class TaskIndex:
         endpoint = self._undispatched.pop(task_id, None)
         if endpoint is not None:
             self._decrement(endpoint)
+            self.undispatched_epoch += 1
 
     def undispatched_ids(self) -> List[str]:
         """Undispatched task ids in placement order (deterministic)."""

@@ -114,6 +114,11 @@ class EndpointMonitor:
         #: features (cores/frequency/RAM) — the generation stamp for caches
         #: of hardware-dependent predictions.
         self.hardware_version = 0
+        #: Bumped whenever any mock's *capacity* state may have changed
+        #: (dispatch, completion, registration, a sync that moved a counter).
+        #: The vectorized schedulers' endpoint-state vectors re-read the
+        #: mocks only when this version moves, instead of per task.
+        self.state_version = 0
 
     # ----------------------------------------------------------- registration
     def register(self, endpoint_name: str) -> MockEndpoint:
@@ -124,6 +129,7 @@ class EndpointMonitor:
         status = self._status_provider(endpoint_name)
         mock.synchronize(status, self._clock.now())
         self._mocks[endpoint_name] = mock
+        self.state_version += 1
         return mock
 
     def endpoint_names(self) -> List[str]:
@@ -137,22 +143,41 @@ class EndpointMonitor:
         if not self.mocking_enabled:
             if mock.synchronize(self._status_provider(endpoint_name), self._clock.now()):
                 self.hardware_version += 1
+            self.state_version += 1
         return mock
 
     # --------------------------------------------------------------- updates
     def record_dispatch(self, endpoint_name: str, cores: int = 1) -> None:
         self.mock(endpoint_name).record_dispatch(cores)
+        self.state_version += 1
 
     def record_completion(self, endpoint_name: str, cores: int = 1) -> None:
         self.mock(endpoint_name).record_completion(cores)
+        self.state_version += 1
 
     def synchronize(self, force: bool = False) -> None:
         """Re-sync every mock whose snapshot is older than the sync interval."""
         now = self._clock.now()
         for name, mock in self._mocks.items():
             if force or now - mock.last_synced_at >= self.sync_interval_s:
+                before = (
+                    mock.active_workers,
+                    mock.busy_workers,
+                    mock.pending_tasks,
+                    mock.max_workers,
+                    mock.online,
+                )
                 if mock.synchronize(self._status_provider(name), now):
                     self.hardware_version += 1
+                after = (
+                    mock.active_workers,
+                    mock.busy_workers,
+                    mock.pending_tasks,
+                    mock.max_workers,
+                    mock.online,
+                )
+                if after != before:
+                    self.state_version += 1
                 self.sync_count += 1
 
     # ---------------------------------------------------------------- queries

@@ -63,6 +63,32 @@ class _FunctionModel:
             return float(np.mean([r[1] for r in self.samples]))
         return float(max(0.0, self.time_model.predict([list(features)])[0]))
 
+    def predict_time_matrix(
+        self, input_mb: np.ndarray, hardware: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Batched :meth:`predict_time` over tasks × endpoints.
+
+        ``input_mb`` has shape ``(T,)``, ``hardware`` shape ``(E, 3)``; the
+        result has shape ``(T, E)`` and every cell equals the scalar
+        ``predict_time((input_mb[t], *hardware[e]))`` bit for bit — the
+        array-backed scheduling context relies on that to make vectorized
+        placement decisions byte-identical to the scalar path.  Duplicate
+        input sizes are predicted once and gathered back.
+        """
+        tasks = len(input_mb)
+        endpoints = len(hardware)
+        if self.trained_on == 0:
+            if not self.samples:
+                return None
+            mean = float(np.mean([r[1] for r in self.samples]))
+            return np.full((tasks, endpoints), mean)
+        unique, inverse = np.unique(input_mb, return_inverse=True)
+        X = np.empty((len(unique) * endpoints, 1 + hardware.shape[1]))
+        X[:, 0] = np.repeat(unique, endpoints)
+        X[:, 1:] = np.tile(hardware, (len(unique), 1))
+        predictions = np.maximum(0.0, self.time_model.predict(X))
+        return predictions.reshape(len(unique), endpoints)[inverse]
+
     def predict_output(self, features: Sequence[float]) -> Optional[float]:
         if self.trained_on == 0:
             if not self.samples:
@@ -175,6 +201,26 @@ class ExecutionProfiler:
         features = (input_mb, *hardware_features)
         predicted = model.predict_time(features)
         return default if predicted is None else predicted
+
+    def predict_time_matrix(
+        self,
+        function_name: str,
+        input_mb: np.ndarray,
+        hardware: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Vectorized :meth:`predict_execution_time` over tasks × endpoints.
+
+        Returns a ``(len(input_mb), len(hardware))`` matrix whose cells are
+        bit-identical to the corresponding scalar calls, or ``None`` when the
+        function has never been observed (callers apply their own fallback,
+        exactly like the scalar ``default=None`` path).
+        """
+        model = self._models.get(function_name)
+        if model is None:
+            return None
+        return model.predict_time_matrix(
+            np.asarray(input_mb, dtype=float), np.asarray(hardware, dtype=float)
+        )
 
     def predict_output_mb(
         self,

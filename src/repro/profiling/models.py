@@ -80,6 +80,7 @@ class DecisionTreeRegressor:
         self.max_features = max_features
         self._rng = random_state if random_state is not None else np.random.default_rng(0)
         self._root: Optional[_TreeNode] = None
+        self._flat: Optional[Tuple[np.ndarray, ...]] = None
         self.n_features_: int = 0
 
     # -------------------------------------------------------------------- fit
@@ -92,6 +93,7 @@ class DecisionTreeRegressor:
             raise ValueError("cannot fit on an empty dataset")
         self.n_features_ = X.shape[1]
         self._root = self._build(X, y, depth=0)
+        self._flat = None
         return self
 
     def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
@@ -149,16 +151,56 @@ class DecisionTreeRegressor:
         return best
 
     # ---------------------------------------------------------------- predict
+    def _compile(self) -> Tuple[np.ndarray, ...]:
+        """Flatten the node tree into parallel arrays for batched traversal.
+
+        Leaves keep ``feature == -1``; internal nodes point at their children
+        by index.  Prediction then walks all rows level-synchronously with
+        array ops instead of one Python loop per row — same comparisons,
+        same leaves, bit-identical values.
+        """
+        feature: list = []
+        threshold: list = []
+        value: list = []
+        left: list = []
+        right: list = []
+
+        def walk(node: _TreeNode) -> int:
+            index = len(feature)
+            feature.append(node.feature if not node.is_leaf else -1)
+            threshold.append(node.threshold)
+            value.append(node.value)
+            left.append(-1)
+            right.append(-1)
+            if not node.is_leaf:
+                left[index] = walk(node.left)
+                right[index] = walk(node.right)
+            return index
+
+        walk(self._root)
+        return (
+            np.asarray(feature, dtype=np.intp),
+            np.asarray(threshold, dtype=float),
+            np.asarray(value, dtype=float),
+            np.asarray(left, dtype=np.intp),
+            np.asarray(right, dtype=np.intp),
+        )
+
     def predict(self, X) -> np.ndarray:
         _check_fitted(self._root is not None)
         X = _as_2d(X)
-        out = np.empty(len(X), dtype=float)
-        for i, row in enumerate(X):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
-        return out
+        if self._flat is None:
+            self._flat = self._compile()
+        feature, threshold, value, left, right = self._flat
+        index = np.zeros(len(X), dtype=np.intp)
+        active = np.nonzero(feature[index] >= 0)[0]
+        while active.size:
+            node = index[active]
+            feat = feature[node]
+            go_left = X[active, feat] <= threshold[node]
+            index[active] = np.where(go_left, left[node], right[node])
+            active = active[feature[index[active]] >= 0]
+        return value[index]
 
 
 class RandomForestRegressor:
@@ -219,8 +261,15 @@ class RandomForestRegressor:
     def predict(self, X) -> np.ndarray:
         _check_fitted(bool(self._trees))
         X = _as_2d(X)
-        predictions = np.stack([tree.predict(X) for tree in self._trees], axis=0)
-        return predictions.mean(axis=0)
+        # Sequential accumulation over trees: unlike ``stack(...).mean(0)``,
+        # whose pairwise reduction order depends on the batch shape, this is
+        # per-element identical no matter how many rows are predicted at
+        # once — batched and single-row calls agree bit for bit, which the
+        # vectorized scheduling path's equivalence guarantee relies on.
+        total = self._trees[0].predict(X)
+        for tree in self._trees[1:]:
+            total = total + tree.predict(X)
+        return total / len(self._trees)
 
 
 class PolynomialRegression:

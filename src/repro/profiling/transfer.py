@@ -88,6 +88,12 @@ class TransferProfiler:
         self._degree = degree
         self._pairs: Dict[Pair, _PairModel] = defaultdict(lambda: _PairModel(self._degree))
         self.update_count = 0
+        #: Monotonic counter bumped whenever any prediction may have changed:
+        #: every new observation shifts an untrained pair's bandwidth
+        #: estimate, and retrains change the fitted models.  Consumers
+        #: caching transfer predictions (the array-backed scheduling context)
+        #: stamp their entries with this version.
+        self.prediction_version = 0
         if store is not None:
             self.load_history(store)
 
@@ -106,6 +112,7 @@ class TransferProfiler:
             return
         pair = (result.request.src, result.request.dst)
         self._pairs[pair].add(result.request.size_mb, float(concurrency), result.duration_s)
+        self.prediction_version += 1
 
     def _observe_record(self, record: TransferRecord) -> None:
         if not record.success:
@@ -113,6 +120,7 @@ class TransferProfiler:
         self._pairs[(record.src, record.dst)].add(
             record.size_mb, float(record.concurrency), record.duration_s
         )
+        self.prediction_version += 1
 
     def seed_bandwidth(self, src: str, dst: str, bandwidth_mbps: float, probe_mb: float = 10.0) -> None:
         """Seed a pair with a known bandwidth (probing transfers, §IV-C).
@@ -125,6 +133,7 @@ class TransferProfiler:
         model = self._pairs[(src, dst)]
         for size in (probe_mb, probe_mb * 10, probe_mb * 100):
             model.add(size, 1.0, size / bandwidth_mbps)
+        self.prediction_version += 1
 
     def update_models(self, force: bool = False) -> int:
         retrained = 0
@@ -136,6 +145,7 @@ class TransferProfiler:
                 retrained += 1
         if retrained:
             self.update_count += 1
+            self.prediction_version += 1
         return retrained
 
     # ------------------------------------------------------------- prediction

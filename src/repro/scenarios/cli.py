@@ -86,7 +86,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     preset = get_scenario(args.name)
     preset = resolve_dynamics(args.dynamics, preset)
-    preset = preset.with_overrides(scheduler=args.scheduler, seed=args.seed, scale=args.scale)
+    preset = preset.with_overrides(
+        scheduler=args.scheduler,
+        seed=args.seed,
+        scale=args.scale,
+        vectorized=False if args.no_vector else None,
+    )
     result = run_scenario(preset, max_wall_time_s=args.max_wall_time)
     scenario_id = _effective_id(args.name, args.scheduler, args.dynamics)
     path = _write_bench(result, Path(args.out), scenario_id)
@@ -103,7 +108,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     preset = resolve_dynamics(args.dynamics, preset)
     results: List[ScenarioResult] = []
     for scheduler in schedulers:
-        spec = preset.with_overrides(scheduler=scheduler, seed=args.seed)
+        spec = preset.with_overrides(
+            scheduler=scheduler,
+            seed=args.seed,
+            vectorized=False if args.no_vector else None,
+        )
         result = run_scenario(spec, max_wall_time_s=args.max_wall_time)
         scenario_id = _effective_id(args.name, scheduler, args.dynamics)
         _write_bench(result, Path(args.out), scenario_id)
@@ -145,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the preset's dynamics regime")
     run.add_argument("--scale", type=float, default=None,
                      help="override the workload scale fraction")
+    run.add_argument("--no-vector", action="store_true",
+                     help="run the scalar reference scheduler instead of the "
+                          "array-backed vectorized hot path (byte-identical result)")
     run.add_argument("--out", default=".", help="directory for BENCH_<id>.json (default: cwd)")
     run.add_argument("--max-wall-time", type=float, default=600.0,
                      help="wall-clock budget for the run (seconds)")
@@ -157,6 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=None, help="override the scenario seed")
     compare.add_argument("--dynamics", choices=["none", "churn", "crash", "chaos"],
                          default=None, help="override the preset's dynamics regime")
+    compare.add_argument("--no-vector", action="store_true",
+                         help="run the scalar reference schedulers")
     compare.add_argument("--out", default=".", help="directory for BENCH artifacts")
     compare.add_argument("--max-wall-time", type=float, default=600.0,
                          help="wall-clock budget per run (seconds)")

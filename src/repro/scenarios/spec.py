@@ -192,6 +192,10 @@ class ScenarioSpec:
     rescheduling_interval_s: float = 20.0
     #: Pre-train the profilers with ground truth (the paper's warm regime).
     seed_knowledge: bool = True
+    #: Run DHA/HEFT on the array-backed vectorized hot path.  Placements are
+    #: byte-identical either way (the equivalence tests gate on it); the CLI's
+    #: ``--no-vector`` switches a run to the scalar reference implementation.
+    vectorized: bool = True
 
     def with_overrides(
         self,
@@ -200,9 +204,12 @@ class ScenarioSpec:
         seed: Optional[int] = None,
         dynamics: Optional[DynamicsSpec] = None,
         scale: Optional[float] = None,
+        vectorized: Optional[bool] = None,
     ) -> "ScenarioSpec":
         """A copy with CLI-level overrides applied."""
         spec = self
+        if vectorized is not None:
+            spec = dataclasses.replace(spec, vectorized=vectorized)
         if scheduler is not None:
             canonical = SCHEDULER_ALIASES.get(scheduler.lower())
             if canonical is None:
@@ -307,6 +314,7 @@ def run_scenario(
         enable_delay_mechanism=spec.enable_delay_mechanism,
         enable_rescheduling=spec.enable_rescheduling,
         enable_scaling=spec.enable_scaling,
+        enable_vectorized_scheduling=spec.vectorized,
         max_task_retries=spec.max_task_retries,
         endpoint_sync_interval_s=spec.endpoint_sync_interval_s,
         rescheduling_interval_s=spec.rescheduling_interval_s,

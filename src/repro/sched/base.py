@@ -22,6 +22,7 @@ from repro.faas.types import TaskExecutionRecord
 from repro.monitor.endpoint_monitor import EndpointMonitor
 from repro.profiling.execution import ExecutionProfiler
 from repro.profiling.transfer import TransferProfiler
+from repro.sched.vector import EndpointStateVectors, PredictionIndex
 from repro.sim.kernel import Clock
 
 __all__ = ["Placement", "Scheduler", "SchedulingContext"]
@@ -78,10 +79,20 @@ class SchedulingContext:
     #: assert on the hit rate).
     exec_cache_hits: int = field(init=False, default=0)
     exec_cache_misses: int = field(init=False, default=0)
+    #: Array-backed prediction layer (created on demand by the vectorized
+    #: schedulers); holds the same floats the scalar methods return, in
+    #: dense task × endpoint matrices.  See :mod:`repro.sched.vector`.
+    arrays: Optional[PredictionIndex] = field(init=False, default=None, repr=False)
 
     # ------------------------------------------------------------ conveniences
     def endpoint_names(self) -> List[str]:
         return self.endpoint_monitor.endpoint_names()
+
+    def ensure_arrays(self) -> PredictionIndex:
+        """The array-backed prediction index, created lazily."""
+        if self.arrays is None:
+            self.arrays = PredictionIndex(self)
+        return self.arrays
 
     # ------------------------------------------------------------ memoization
     def _prediction_generation(self) -> Tuple[int, int]:
@@ -95,12 +106,23 @@ class SchedulingContext:
         self._input_cache.pop(task_id, None)
         for key in self._exec_keys_by_task.pop(task_id, ()):
             self._exec_cache.pop(key, None)
+        if self.arrays is not None:
+            self.arrays.invalidate_task(task_id)
+
+    def release_task(self, task_id: str) -> None:
+        """Evict a *finished* task: drop its cached predictions and recycle
+        its matrix row, keeping both layers bounded by the live task set."""
+        self.invalidate_task(task_id)
+        if self.arrays is not None:
+            self.arrays.release_task(task_id)
 
     def invalidate_predictions(self) -> None:
         """Drop every cached prediction (profiler retrained, hardware changed)."""
         self._exec_cache.clear()
         self._exec_keys_by_task.clear()
         self._input_cache.clear()
+        if self.arrays is not None:
+            self.arrays.invalidate_all()
 
     def estimated_input_mb(self, task: Task) -> float:
         """Best estimate of a task's input data volume.
@@ -210,17 +232,46 @@ class Scheduler(ABC):
     #: scheduler for re-scheduling.
     supports_rescheduling: bool = False
 
+    #: Whether this scheduler runs the array-backed hot path when possible
+    #: (subclasses expose a ``vectorized`` constructor argument).
+    vectorized: bool = False
+
     def __init__(self) -> None:
         self.context: Optional[SchedulingContext] = None
         #: Tasks assigned per endpoint that have not been dispatched yet
         #: (claims against the mocked free capacity).
         self._claims: Dict[str, int] = {}
+        #: Incremental per-endpoint state arrays (vectorized schedulers only).
+        self._vectors: Optional[EndpointStateVectors] = None
+        #: Bumped on every claim change — part of the re-scheduling pass's
+        #: nothing-changed fingerprint.
+        self._claims_version = 0
 
     # ----------------------------------------------------------------- setup
     def initialize(self, context: SchedulingContext) -> None:
         """Bind the scheduler to a workflow run."""
         self.context = context
         self._claims = {name: 0 for name in context.endpoint_names()}
+        # Endpoint-state vectors are created lazily by the schedulers that
+        # actually consume them (DHA's EFT index); claim mirroring below is
+        # a no-op until then.
+        self._vectors = None
+
+    def _vector_ready(self) -> bool:
+        """True when the array-backed hot path may be used.
+
+        Requires the mocking mechanism: with mocking disabled every endpoint
+        query re-reads the (stale) service status, which per-event array
+        synchronisation cannot mirror — the scalar reference path handles
+        that ablation regime.
+        """
+        context = self.context
+        return bool(
+            self.vectorized
+            and context is not None
+            and context.endpoint_monitor.mocking_enabled
+            and context.endpoint_names()
+        )
 
     def _require_context(self) -> SchedulingContext:
         if self.context is None:
@@ -249,8 +300,7 @@ class Scheduler(ABC):
     # ----------------------------------------------------------- notifications
     def on_task_dispatched(self, task: Task, endpoint: str) -> None:
         """Engine notification: the task left the client queue."""
-        if endpoint in self._claims and self._claims[endpoint] > 0:
-            self._claims[endpoint] -= 1
+        self.release_claim(endpoint)
 
     def on_task_completed(self, task: Task, record: TaskExecutionRecord) -> None:
         """Engine notification: the task finished (successfully or not)."""
@@ -261,6 +311,17 @@ class Scheduler(ABC):
     # --------------------------------------------------------------- helpers
     def claim(self, endpoint: str, count: int = 1) -> None:
         self._claims[endpoint] = self._claims.get(endpoint, 0) + count
+        self._claims_version += 1
+        if self._vectors is not None:
+            self._vectors.add_claim(endpoint, count)
+
+    def release_claim(self, endpoint: str) -> None:
+        """Drop one claim on ``endpoint`` (a re-scheduling move left it)."""
+        if self._claims.get(endpoint, 0) > 0:
+            self._claims[endpoint] -= 1
+            self._claims_version += 1
+            if self._vectors is not None:
+                self._vectors.add_claim(endpoint, -1)
 
     def claimed(self, endpoint: str) -> int:
         return self._claims.get(endpoint, 0)

@@ -12,6 +12,7 @@ which is why Capacity suits static DAGs on static resources.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Sequence
 
 from repro.core.dag import Task
@@ -103,7 +104,4 @@ class CapacityScheduler(Scheduler):
         return dict(self._assignment)
 
     def assigned_counts(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for endpoint in self._assignment.values():
-            counts[endpoint] = counts.get(endpoint, 0) + 1
-        return counts
+        return dict(Counter(self._assignment.values()))

@@ -26,13 +26,25 @@ Locality scheduler:
    the pending tasks (scheduled/staging/staged, not yet dispatched) are
    re-examined; tasks are stolen from backlogged endpoints and moved to
    endpoints with idle capacity when that lowers their estimated finish time.
+
+Two implementations share this class.  The default *vectorized* hot path
+runs the priority sweep and endpoint selection over the array-backed
+:class:`~repro.sched.vector.PredictionIndex` (one reverse-topological sweep
+over dense task × endpoint matrices; an argmin over an incrementally
+maintained per-endpoint estimated-finish vector).  The *scalar* path
+(``vectorized=False``, the CLI's ``--no-vector``) is the reference
+implementation; both produce byte-identical placement decisions, which the
+equivalence tests assert across every scenario preset.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.dag import Task
+import numpy as np
+
+from repro.core.dag import Task, TaskGraph
+from repro.data import remote_file as _remote_file
 from repro.sched.base import Placement, Scheduler, SchedulingContext
 
 __all__ = ["DHAScheduler"]
@@ -51,52 +63,167 @@ class DHAScheduler(Scheduler):
         enable_delay_mechanism: bool = True,
         enable_rescheduling: bool = True,
         default_execution_time_s: float = 1.0,
+        vectorized: bool = True,
     ) -> None:
         super().__init__()
         self.uses_delay_mechanism = enable_delay_mechanism
         self.supports_rescheduling = enable_rescheduling
         self.default_execution_time_s = default_execution_time_s
+        self.vectorized = vectorized
         self._priorities: Dict[str, float] = {}
         #: Where each not-yet-dispatched task is currently headed.
         self._pending_target: Dict[str, str] = {}
         #: Number of placements moved by the re-scheduling mechanism.
         self.rescheduled_count = 0
+        #: Generation of the priority map; part of the sort-cache key.
+        self._priority_epoch = 0
+        #: Last priority-sorted orderings per consumer ("schedule" /
+        #: "reschedule"): re-sorting is skipped while the task set and the
+        #: priorities are unchanged (the dirty flag is the epoch moving).
+        self._order_cache: Dict[str, Tuple[Tuple, List[Task]]] = {}
+        #: Sorts actually performed (tests assert the cache short-circuits).
+        self.sort_count = 0
+        #: Fingerprint of the inputs of the last re-scheduling pass that
+        #: moved nothing; an identical fingerprint proves an identical no-op.
+        self._resched_noop_fingerprint: Optional[Tuple] = None
 
     # ------------------------------------------------------------- priorities
     def on_workflow_submitted(self, tasks: Sequence[Task]) -> None:
         self._compute_priorities()
 
     def on_tasks_added(self, tasks: Sequence[Task]) -> None:
-        # A dynamic DAG invalidates downstream priorities; recompute them all
-        # (linear in the graph size, §V-E measures the resulting overhead).
-        self._compute_priorities()
+        # Eq. 2 flows from successors to predecessors, so growing the DAG can
+        # only change the new tasks and their ancestors: recompute exactly
+        # that slice instead of the whole graph (dynamic workflows used to
+        # pay O(V+E) per batch of added tasks).
+        self._compute_priorities(tasks)
 
-    def _compute_priorities(self) -> None:
+    def _compute_priorities(self, new_tasks: Optional[Sequence[Task]] = None) -> None:
         context = self._require_context()
         graph = context.graph
-        order = graph.topological_order()
-        priorities: Dict[str, float] = {}
-        for task in reversed(order):
+        if new_tasks is None:
+            order = graph.topological_order()
+            order.reverse()
+            # A full sweep starts from a fresh map so entries for tasks no
+            # longer in the graph cannot accumulate across workflows.
+            self._priorities = {}
+        else:
+            order = self._affected_reverse_topological(graph, new_tasks)
+        if not order:
+            return
+        if self._vector_ready():
+            self._sweep_vector(context, order)
+        else:
+            self._sweep_scalar(context, order)
+        self._priority_epoch += 1
+
+    def _affected_reverse_topological(
+        self, graph: TaskGraph, new_tasks: Sequence[Task]
+    ) -> List[Task]:
+        """The priority-recompute slice for ``new_tasks``, successors-first.
+
+        Eq. 2 needs a task's successors before the task itself, so the slice
+        is: the seeds, any still-unprioritised descendants (their values
+        must exist before the seeds' maxima are taken — traversal stops at
+        descendants that already carry a priority, which are reused as-is),
+        and every ancestor of all of those (their maxima may rise).
+        """
+        affected = {t.task_id for t in new_tasks if t.task_id in graph}
+        stack = list(affected)
+        while stack:
+            task_id = stack.pop()
+            for successor in graph.successors(task_id):
+                succ_id = successor.task_id
+                if succ_id not in affected and succ_id not in self._priorities:
+                    affected.add(succ_id)
+                    stack.append(succ_id)
+            for dep in graph.get(task_id).dependencies:
+                if dep not in affected:
+                    affected.add(dep)
+                    stack.append(dep)
+        out_degree = {
+            task_id: sum(
+                1 for s in graph.successors(task_id) if s.task_id in affected
+            )
+            for task_id in affected
+        }
+        queue = sorted(task_id for task_id, degree in out_degree.items() if degree == 0)
+        order: List[Task] = []
+        head = 0
+        while head < len(queue):
+            task_id = queue[head]
+            head += 1
+            order.append(graph.get(task_id))
+            for dep in sorted(graph.get(task_id).dependencies):
+                if dep in affected:
+                    out_degree[dep] -= 1
+                    if out_degree[dep] == 0:
+                        queue.append(dep)
+        return order
+
+    def _sweep_scalar(self, context: SchedulingContext, order: Sequence[Task]) -> None:
+        graph = context.graph
+        priorities = self._priorities
+        for task in order:
             d = context.average_staging_time(task)
             w = context.average_execution_time(task, default=self.default_execution_time_s)
-            succ = [priorities[s.task_id] for s in graph.successors(task.task_id)]
-            priorities[task.task_id] = d + w + (max(succ) if succ else 0.0)
+            succ = graph.successors(task.task_id)
+            best = max((priorities.get(s.task_id, 0.0) for s in succ), default=0.0)
+            priorities[task.task_id] = d + w + best
             task.priority = priorities[task.task_id]
-        self._priorities = priorities
+
+    def _sweep_vector(self, context: SchedulingContext, order: Sequence[Task]) -> None:
+        """The same recursion over the dense prediction matrices.
+
+        ``d`` and ``w`` come from one batched row-mean over the array-backed
+        context instead of 2 × |endpoints| scalar calls per task; the sweep
+        itself reads/writes plain floats so the arithmetic (and hence every
+        priority) is bit-identical to the scalar path.
+        """
+        arrays = context.ensure_arrays()
+        rows = arrays.rows(order, self.default_execution_time_s)
+        w, d = arrays.row_means(rows)
+        base = (d + w).tolist()
+        graph = context.graph
+        priorities = self._priorities
+        for position, task in enumerate(order):
+            succ = graph.successors(task.task_id)
+            best = max((priorities.get(s.task_id, 0.0) for s in succ), default=0.0)
+            value = base[position] + best
+            priorities[task.task_id] = value
+            task.priority = value
 
     def priority(self, task_id: str) -> float:
         return self._priorities.get(task_id, 0.0)
 
+    def _ordered_by_priority(self, tasks: Sequence[Task], slot: str) -> List[Task]:
+        """Priority order with a dirty-flag cache.
+
+        The sort is skipped while the offered task set and the priority map
+        are both unchanged (same ids, same epoch) — re-scheduling passes and
+        repeated pumps over an unchanged ready set hit this constantly.
+        """
+        key = (tuple(t.task_id for t in tasks), self._priority_epoch)
+        cached = self._order_cache.get(slot)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        self.sort_count += 1
+        ordered = sorted(
+            tasks, key=lambda t: (-self._priorities.get(t.task_id, 0.0), t.task_id)
+        )
+        self._order_cache[slot] = (key, ordered)
+        return ordered
+
     # -------------------------------------------------------------- scheduling
     def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:
         self._require_context()
-        placements: List[Placement] = []
         missing = [t for t in ready_tasks if t.task_id not in self._priorities]
         if missing:
-            self._compute_priorities()
-        ordered = sorted(
-            ready_tasks, key=lambda t: (-self._priorities.get(t.task_id, 0.0), t.task_id)
-        )
+            self._compute_priorities(missing)
+        ordered = self._ordered_by_priority(ready_tasks, "schedule")
+        if self._vector_ready():
+            return self._schedule_vector(ordered)
+        placements: List[Placement] = []
         for task in ordered:
             endpoint, finish = self._select_endpoint(task)
             if endpoint is None:
@@ -108,8 +235,52 @@ class DHAScheduler(Scheduler):
             )
         return placements
 
-    def _select_endpoint(self, task: Task, exclude: Sequence[str] = ()) -> tuple[Optional[str], float]:
-        """Greedy earliest-estimated-finish-time selection."""
+    def _schedule_vector(self, ordered: Sequence[Task]) -> List[Placement]:
+        context = self.context
+        arrays = context.ensure_arrays()
+        # rows() first: it rebuilds the index when the endpoint set changed,
+        # and the state vectors must be validated against the rebuilt columns.
+        rows = arrays.rows(ordered, self.default_execution_time_s)
+        vectors = self._endpoint_vectors(arrays)
+        vectors.sync(context.endpoint_monitor)
+        exec_matrix = arrays.exec_matrix
+        stag_matrix = arrays.staging_matrix
+        names = arrays.endpoint_names
+        placements: List[Placement] = []
+        for position, task in enumerate(ordered):
+            row = rows[position]
+            finish = vectors.finish_row(exec_matrix[row], stag_matrix[row])
+            column = int(np.argmin(finish))
+            endpoint = names[column]
+            self.claim(endpoint, 1)
+            self._pending_target[task.task_id] = endpoint
+            placements.append(
+                Placement(
+                    task_id=task.task_id,
+                    endpoint=endpoint,
+                    estimated_finish_s=float(finish[column]),
+                )
+            )
+        return placements
+
+    def _endpoint_vectors(self, arrays):
+        """The incremental endpoint-state arrays, rebuilt on topology change."""
+        vectors = self._vectors
+        if vectors is None or vectors.names != arrays.endpoint_names:
+            from repro.sched.vector import EndpointStateVectors
+
+            monitor = self.context.endpoint_monitor
+            vectors = EndpointStateVectors(monitor, arrays.endpoint_names)
+            for name, count in self._claims.items():
+                if count:
+                    vectors.add_claim(name, count)
+            self._vectors = vectors
+        return vectors
+
+    def _select_endpoint(
+        self, task: Task, exclude: Sequence[str] = ()
+    ) -> tuple[Optional[str], float]:
+        """Greedy earliest-estimated-finish-time selection (scalar reference)."""
         context = self._require_context()
         best_endpoint: Optional[str] = None
         best_finish = float("inf")
@@ -160,10 +331,45 @@ class DHAScheduler(Scheduler):
         Only tasks that have not been dispatched yet are offered by the
         engine.  The delay mechanism is what makes this pool large enough to
         be useful — staged tasks waiting in the client queue can still move.
+
+        The pass is *incremental*: its inputs (endpoint state, claims,
+        priorities, predictions, the pending set and its targets) are
+        fingerprinted, and when nothing moved since a pass that made no
+        moves, the pass is provably another no-op and is skipped outright.
+        Endpoint-dynamics events (crash / rejoin / churn) bump the monitor's
+        state version, so changed endpoints re-open the pass immediately.
         """
         if not self.supports_rescheduling or not pending_tasks:
             return []
         context = self._require_context()
+        fingerprint = self._reschedule_fingerprint(context, pending_tasks)
+        if fingerprint == self._resched_noop_fingerprint:
+            return []
+        if self._vector_ready():
+            moves = self._reschedule_vector(context, pending_tasks)
+        else:
+            moves = self._reschedule_scalar(context, pending_tasks)
+        self._resched_noop_fingerprint = None if moves else fingerprint
+        return moves
+
+    def _reschedule_fingerprint(
+        self, context: SchedulingContext, pending_tasks: Sequence[Task]
+    ) -> Tuple:
+        monitor = context.endpoint_monitor
+        return (
+            tuple((t.task_id, t.assigned_endpoint) for t in pending_tasks),
+            self._priority_epoch,
+            self._claims_version,
+            monitor.state_version,
+            monitor.hardware_version,
+            context.execution_profiler.prediction_version,
+            getattr(context.transfer_profiler, "prediction_version", 0),
+            _remote_file.location_version(),
+        )
+
+    def _reschedule_scalar(
+        self, context: SchedulingContext, pending_tasks: Sequence[Task]
+    ) -> List[Placement]:
         moves: List[Placement] = []
         # Spare capacity per endpoint beyond what is already heading there.
         spare: Dict[str, int] = {
@@ -172,9 +378,7 @@ class DHAScheduler(Scheduler):
         if not any(count > 0 for count in spare.values()):
             return []
 
-        ordered = sorted(
-            pending_tasks, key=lambda t: (-self._priorities.get(t.task_id, 0.0), t.task_id)
-        )
+        ordered = self._ordered_by_priority(pending_tasks, "reschedule")
         for task in ordered:
             current = task.assigned_endpoint
             if current is None:
@@ -195,13 +399,71 @@ class DHAScheduler(Scheduler):
                 continue
             spare[best] -= 1
             # Release the claim on the old endpoint and take one on the new.
-            if self.claimed(current) > 0:
-                self._claims[current] -= 1
+            self.release_claim(current)
             self.claim(best, 1)
             self._pending_target[task.task_id] = best
             self.rescheduled_count += 1
             moves.append(
                 Placement(task_id=task.task_id, endpoint=best, estimated_finish_s=best_finish)
+            )
+        return moves
+
+    def _reschedule_vector(
+        self, context: SchedulingContext, pending_tasks: Sequence[Task]
+    ) -> List[Placement]:
+        monitor = context.endpoint_monitor
+        arrays = context.ensure_arrays()
+        ordered = self._ordered_by_priority(pending_tasks, "reschedule")
+        # rows() first: it rebuilds the index when the endpoint set changed,
+        # and the state vectors must be validated against the rebuilt columns.
+        rows = arrays.rows(ordered, self.default_execution_time_s)
+        vectors = self._endpoint_vectors(arrays)
+        vectors.sync(monitor)
+        free = vectors.free_capacity()
+        # Snapshot at pass start, decremented per move — exactly the scalar
+        # pass's ``spare`` dict (claims released mid-pass do not re-open it).
+        spare = np.maximum(free - vectors.claimed, 0)
+        if not (spare > 0).any():
+            return []
+        exec_matrix = arrays.exec_matrix
+        stag_matrix = arrays.staging_matrix
+        names = arrays.endpoint_names
+        moves: List[Placement] = []
+        for position, task in enumerate(ordered):
+            current = task.assigned_endpoint
+            if current is None:
+                continue
+            column = arrays.endpoint_index(current)
+            if column is None:
+                # Unknown endpoint: surface the same EndpointError the scalar
+                # path's monitor lookup would raise.
+                monitor.free_capacity(current)
+                continue
+            if free[column] >= task.cores:
+                continue
+            candidates = spare > 0
+            candidates[column] = False
+            if not candidates.any():
+                break
+            row = rows[position]
+            finish = vectors.finish_row(exec_matrix[row], stag_matrix[row])
+            current_finish = finish[column]
+            best_column = int(np.argmin(np.where(candidates, finish, np.inf)))
+            best_finish = finish[best_column]
+            if best_finish >= current_finish:
+                continue
+            spare[best_column] -= 1
+            best = names[best_column]
+            self.release_claim(current)
+            self.claim(best, 1)
+            self._pending_target[task.task_id] = best
+            self.rescheduled_count += 1
+            moves.append(
+                Placement(
+                    task_id=task.task_id,
+                    endpoint=best,
+                    estimated_finish_s=float(best_finish),
+                )
             )
         return moves
 

@@ -12,11 +12,19 @@ The classic formulation schedules onto individual processors; a funcX
 endpoint is a pool of workers, so the "processor availability" term is the
 endpoint's estimated ready time assuming its workers drain the backlog of
 already-assigned work evenly.
+
+Like DHA, the offline pass has two implementations: the default vectorized
+one runs rank computation and the assignment sweep over the array-backed
+prediction matrices, and the scalar reference (``vectorized=False``)
+re-derives every term per task × endpoint.  Both produce byte-identical
+assignments.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.core.dag import Task
 from repro.sched.base import Placement, Scheduler
@@ -31,9 +39,12 @@ class HEFTScheduler(Scheduler):
     uses_delay_mechanism = False
     supports_rescheduling = False
 
-    def __init__(self, default_execution_time_s: float = 1.0) -> None:
+    def __init__(
+        self, default_execution_time_s: float = 1.0, *, vectorized: bool = True
+    ) -> None:
         super().__init__()
         self.default_execution_time_s = default_execution_time_s
+        self.vectorized = vectorized
         self._ranks: Dict[str, float] = {}
         self._assignment: Dict[str, str] = {}
         #: Estimated time at which each endpoint's workers become free.
@@ -47,6 +58,12 @@ class HEFTScheduler(Scheduler):
         self._plan()
 
     def _plan(self) -> None:
+        if self._vector_ready():
+            self._plan_vector()
+        else:
+            self._plan_scalar()
+
+    def _plan_scalar(self) -> None:
         context = self._require_context()
         graph = context.graph
         order = graph.topological_order()
@@ -98,6 +115,56 @@ class HEFTScheduler(Scheduler):
             )
             ready[best_endpoint] += execution / workers[best_endpoint]
         self._endpoint_ready = ready
+
+    def _plan_vector(self) -> None:
+        """The same offline pass over the dense prediction matrices.
+
+        Rank recursion and the per-task endpoint scan become row operations
+        on the array-backed context; the arithmetic mirrors the scalar pass
+        operation for operation, so ranks, assignments and ready times are
+        bit-identical.
+        """
+        context = self._require_context()
+        graph = context.graph
+        order = graph.topological_order()
+        arrays = context.ensure_arrays()
+        reverse = list(reversed(order))
+        rows = arrays.rows(reverse, self.default_execution_time_s)
+        w, d = arrays.row_means(rows)
+        base = (w + d).tolist()
+
+        ranks: Dict[str, float] = {}
+        for position, task in enumerate(reverse):
+            succ = graph.successors(task.task_id)
+            best = max((ranks[s.task_id] for s in succ), default=0.0)
+            ranks[task.task_id] = base[position] + best
+        self._ranks = ranks
+
+        endpoints = context.endpoint_names()
+        if not endpoints:
+            return
+        monitor = context.endpoint_monitor
+        workers = np.array(
+            [max(1, monitor.active_workers(name)) for name in endpoints], dtype=np.int64
+        )
+        ready = np.zeros(len(endpoints))
+        finish_time: Dict[str, float] = {}
+        row_of = {task.task_id: rows[position] for position, task in enumerate(reverse)}
+        exec_matrix = arrays.exec_matrix
+        stag_matrix = arrays.staging_matrix
+
+        for task in sorted(order, key=lambda t: (-ranks[t.task_id], t.task_id)):
+            if task.task_id in self._assignment:
+                continue
+            preds = graph.predecessors(task.task_id)
+            pred_ready = max((finish_time.get(p.task_id, 0.0) for p in preds), default=0.0)
+            row = row_of[task.task_id]
+            finish = np.maximum(ready, pred_ready + stag_matrix[row]) + exec_matrix[row]
+            column = int(np.argmin(finish))
+            self._assignment[task.task_id] = endpoints[column]
+            finish_time[task.task_id] = float(finish[column])
+            ready[column] += exec_matrix[row, column] / workers[column]
+        self._endpoint_ready = dict(zip(endpoints, ready.tolist()))
 
     # -------------------------------------------------------------- scheduling
     def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:

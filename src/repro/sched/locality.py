@@ -29,21 +29,40 @@ class LocalityScheduler(Scheduler):
     def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:
         context = self._require_context()
         placements: List[Placement] = []
+        # With mocking enabled the mocked endpoint state cannot change while
+        # this round runs, so read each endpoint's free capacity once and
+        # track the effect of this round's own claims incrementally instead
+        # of re-deriving ``unclaimed_free_capacity`` per task × endpoint.
+        # The mocking-disabled ablation re-reads the live service status per
+        # query, which a snapshot must not hide — re-derive per task there.
+        names = context.endpoint_names()
+        monitor = context.endpoint_monitor
+        snapshot = monitor.mocking_enabled
+
+        def free_map() -> dict:
+            return {
+                name: max(0, monitor.free_capacity(name) - self.claimed(name))
+                for name in names
+            }
+
+        unclaimed = free_map()
         # Level/arrival order: the engine hands tasks in ready order already.
         for task in ready_tasks:
-            candidates = [
-                name
-                for name in context.endpoint_names()
-                if self.unclaimed_free_capacity(name) >= task.cores
-            ]
+            if not snapshot:
+                unclaimed = free_map()
+            candidates = [name for name in names if unclaimed[name] >= task.cores]
             if not candidates:
                 break  # no idle resources anywhere; try again on the next pump
-            endpoint = self._locality_selection(task, candidates)
+            endpoint = self._locality_selection(task, candidates, unclaimed)
             self.claim(endpoint, 1)
+            if snapshot:
+                unclaimed[endpoint] = max(0, unclaimed[endpoint] - 1)
             placements.append(Placement(task_id=task.task_id, endpoint=endpoint))
         return placements
 
-    def _locality_selection(self, task: Task, candidates: List[str]) -> str:
+    def _locality_selection(
+        self, task: Task, candidates: List[str], unclaimed: dict
+    ) -> str:
         """Pick the candidate endpoint minimising the data moved (Fig. 3)."""
         context = self._require_context()
 
@@ -51,7 +70,6 @@ class LocalityScheduler(Scheduler):
             moved = context.data_manager.bytes_to_move_mb(task.input_files, endpoint)
             # Tie-break on free capacity (most idle workers first), then name
             # for determinism.
-            free = self.unclaimed_free_capacity(endpoint)
-            return (moved, -free, endpoint)
+            return (moved, -unclaimed[endpoint], endpoint)
 
         return min(candidates, key=cost)

@@ -1,0 +1,31 @@
+"""Vectorized ≡ scalar across every scenario preset, end to end.
+
+The strongest equivalence statement the system can make: running a full
+scenario — workload generation, staging, delay mechanism, re-scheduling,
+failures, dynamics — on the vectorized hot path produces the *byte-identical*
+result payload (including the SHA-256 digest over the complete engine event
+log) as the scalar reference path.  A single diverging placement anywhere in
+the run would cascade into a different event log and a different digest.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios.presets import SCENARIOS, scenario_names
+from repro.scenarios.spec import run_scenario
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_preset_digest_identical_across_vector_and_scalar(name):
+    preset = SCENARIOS[name]
+    vector = run_scenario(dataclasses.replace(preset, vectorized=True))
+    scalar = run_scenario(dataclasses.replace(preset, vectorized=False))
+    assert vector.determinism_digest == scalar.determinism_digest
+    assert vector.to_json() == scalar.to_json()
+
+
+def test_presets_cover_the_full_registry():
+    # The parametrization above must keep tracking the registry: if a preset
+    # is added, it is automatically part of the equivalence matrix.
+    assert len(scenario_names()) >= 9

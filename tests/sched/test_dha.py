@@ -71,6 +71,98 @@ class TestPriorities:
         scheduler.on_tasks_added([t2])
         assert scheduler.priority(t2.task_id) > 0
 
+    def test_dynamic_tasks_update_only_new_tasks_and_ancestors(self):
+        # Growing the DAG recomputes the new tasks and their ancestors, not
+        # the whole graph: an unrelated branch keeps its priority object
+        # untouched while the extended chain's root rises.
+        bundle, scheduler = build({"a": EndpointSpec()})
+        chain_root = add_task(bundle.graph)
+        unrelated = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([chain_root, unrelated])
+        unrelated_before = scheduler.priority(unrelated.task_id)
+        root_before = scheduler.priority(chain_root.task_id)
+
+        sweeps_before = scheduler._priority_epoch
+        leaf = add_task(bundle.graph, deps=[chain_root])
+        scheduler.on_tasks_added([leaf])
+        assert scheduler._priority_epoch == sweeps_before + 1
+        # The ancestor gained its new successor's rank; the unrelated branch
+        # kept its exact value.
+        assert scheduler.priority(chain_root.task_id) > root_before
+        assert scheduler.priority(unrelated.task_id) == unrelated_before
+        assert scheduler.priority(leaf.task_id) > 0
+
+    def test_missing_priority_fallback_ranks_whole_downstream_chain(self):
+        # Direct library use: schedule() without any on_workflow_submitted.
+        # The missing-priority fallback must still give a ready task its full
+        # upward rank — its unprioritised descendants are part of the
+        # recompute slice, not silently treated as rank 0.
+        bundle, scheduler = build({"a": EndpointSpec()})
+        root = add_task(bundle.graph)
+        mid = add_task(bundle.graph, deps=[root])
+        leaf = add_task(bundle.graph, deps=[mid])
+        scheduler.schedule([root])
+        assert scheduler.priority(root.task_id) == pytest.approx(
+            3 * scheduler.priority(leaf.task_id)
+        )
+
+    def test_incremental_recompute_matches_full_recompute(self):
+        # The incremental sweep must land on the same numbers a full sweep
+        # would (same profiler generation, so d and w are unchanged).
+        bundle, scheduler = build({"a": EndpointSpec(), "b": EndpointSpec()})
+        layer1 = [add_task(bundle.graph) for _ in range(3)]
+        layer2 = [add_task(bundle.graph, deps=layer1[:2]) for _ in range(2)]
+        scheduler.on_workflow_submitted(layer1 + layer2)
+        added = [add_task(bundle.graph, deps=layer2) for _ in range(2)]
+        scheduler.on_tasks_added(added)
+        incremental = dict(scheduler._priorities)
+
+        fresh_bundle, fresh = build({"a": EndpointSpec(), "b": EndpointSpec()})
+        mapping = {}
+        for task in bundle.graph.topological_order():
+            deps = [mapping[d] for d in sorted(task.dependencies)]
+            clone = add_task(fresh_bundle.graph, deps=deps)
+            mapping[task.task_id] = clone
+        fresh.on_workflow_submitted(list(mapping.values()))
+        for old_id, clone in mapping.items():
+            assert incremental[old_id] == fresh.priority(clone.task_id)
+
+
+class TestSortCache:
+    def test_unchanged_ready_set_is_not_resorted(self):
+        bundle, scheduler = build({"a": EndpointSpec(workers=4)})
+        tasks = [add_task(bundle.graph) for _ in range(5)]
+        scheduler.on_workflow_submitted(tasks)
+        scheduler.schedule(tasks)
+        sorts = scheduler.sort_count
+        scheduler.schedule(tasks)  # same set, same priorities: cache hit
+        scheduler.schedule(tasks)
+        assert scheduler.sort_count == sorts
+
+    def test_changed_set_or_priorities_resort(self):
+        bundle, scheduler = build({"a": EndpointSpec(workers=4)})
+        tasks = [add_task(bundle.graph) for _ in range(5)]
+        scheduler.on_workflow_submitted(tasks)
+        scheduler.schedule(tasks)
+        sorts = scheduler.sort_count
+        scheduler.schedule(tasks[:3])  # different set: dirty
+        assert scheduler.sort_count == sorts + 1
+        sorts = scheduler.sort_count
+        extra = add_task(bundle.graph)
+        scheduler.on_tasks_added([extra])  # priority epoch moved: dirty
+        scheduler.schedule(tasks[:3])
+        assert scheduler.sort_count == sorts + 1
+
+    def test_cached_order_is_correct(self):
+        bundle, scheduler = build({"a": EndpointSpec(workers=1)})
+        root = add_task(bundle.graph)
+        leaf = add_task(bundle.graph, deps=[root])
+        scheduler.on_workflow_submitted([root, leaf])
+        first = scheduler.schedule([leaf, root])
+        second = scheduler.schedule([leaf, root])
+        assert [p.task_id for p in first] == [root.task_id, leaf.task_id]
+        assert [p.task_id for p in second] == [root.task_id, leaf.task_id]
+
 
 class TestEndpointSelection:
     def test_prefers_faster_hardware_when_profiled(self):
@@ -208,6 +300,25 @@ class TestRescheduling:
         task = add_task(bundle.graph)
         task.assigned_endpoint = "busy"
         assert scheduler.reschedule([task]) == []
+
+    def test_noop_pass_is_skipped_until_something_changes(self):
+        # A re-scheduling pass whose inputs are identical to a previous
+        # no-move pass is provably another no-op and must short-circuit;
+        # any endpoint-state change re-opens it.
+        bundle, scheduler = build(
+            {"current": EndpointSpec(workers=4), "other": EndpointSpec(workers=4)}
+        )
+        task = add_task(bundle.graph)
+        scheduler.on_workflow_submitted([task])
+        task.assigned_endpoint = "current"
+        assert scheduler.reschedule([task]) == []
+        fingerprint = scheduler._resched_noop_fingerprint
+        assert fingerprint is not None
+        assert scheduler.reschedule([task]) == []
+        assert scheduler._resched_noop_fingerprint == fingerprint
+        # Capacity moved (a dispatch): the fingerprint no longer matches.
+        bundle.monitor.record_dispatch("current")
+        assert scheduler._reschedule_fingerprint(bundle.context, [task]) != fingerprint
 
     def test_data_locality_respected_when_stealing(self):
         bundle, scheduler = build(
