@@ -34,6 +34,10 @@ class ExecutorSpec:
     #: Optional cap on the number of workers UniFaaS will scale this endpoint
     #: to (``None`` means the endpoint's own maximum).
     max_workers: Optional[int] = None
+    #: Storage budget of this endpoint's staging area in GB (``None`` falls
+    #: back to :attr:`Config.storage_capacity_gb`).  Only enforced by the
+    #: data-plane subsystem (:mod:`repro.dataplane`).
+    storage_gb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -43,6 +47,10 @@ class ExecutorSpec:
         if self.max_workers is not None and self.max_workers <= 0:
             raise ConfigurationError(
                 f"executor {self.label!r} max_workers must be positive"
+            )
+        if self.storage_gb is not None and self.storage_gb <= 0:
+            raise ConfigurationError(
+                f"executor {self.label!r} storage_gb must be positive"
             )
 
 
@@ -74,6 +82,20 @@ class Config:
     #: Run DHA/HEFT on the array-backed vectorized hot path (byte-identical
     #: decisions to the scalar reference; disable to run the reference).
     enable_vectorized_scheduling: bool = True
+    #: Route staging through the data-plane subsystem (:mod:`repro.dataplane`):
+    #: capacity-bounded replica store, priority/bandwidth-aware transfer
+    #: scheduling and pipelined prefetching.  Disable (``--no-dataplane``) to
+    #: run the paper's plain FIFO staging path (§IV-E) byte-identically.
+    enable_dataplane: bool = True
+    #: Per-endpoint staging-storage budget in GB used by the replica store
+    #: (``None`` means unbounded; :attr:`ExecutorSpec.storage_gb` overrides
+    #: per endpoint).
+    storage_capacity_gb: Optional[float] = None
+    #: Replica eviction policy: "lru" or "cost_benefit".
+    eviction_policy: str = "lru"
+    #: Pipeline staging of ready-soon tasks' inputs behind their still-running
+    #: predecessors (only effective with the data plane enabled).
+    enable_prefetch: bool = True
     #: Enable multi-endpoint elastic scaling (§IV-H).
     enable_scaling: bool = True
     #: Batch size used when submitting tasks / polling results (§IV-H).
@@ -118,6 +140,13 @@ class Config:
         ):
             if value <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+        if self.eviction_policy not in ("lru", "cost_benefit"):
+            raise ConfigurationError(
+                f"unknown eviction policy {self.eviction_policy!r}; "
+                "expected 'lru' or 'cost_benefit'"
+            )
+        if self.storage_capacity_gb is not None and self.storage_capacity_gb <= 0:
+            raise ConfigurationError("storage_capacity_gb must be positive")
         for name, value in (
             ("endpoint_sync_interval_s", self.endpoint_sync_interval_s),
             ("profiler_update_interval_s", self.profiler_update_interval_s),
@@ -136,6 +165,14 @@ class Config:
     def transfer_mechanism(self) -> str:
         """Normalised (lower-case) transfer mechanism name."""
         return self.file_transfer_type.lower()
+
+    def storage_budget_mb(self) -> dict:
+        """Per-endpoint staging-storage budget in MB (``None`` = unbounded)."""
+        budgets = {}
+        for executor in self.executors:
+            gb = executor.storage_gb if executor.storage_gb is not None else self.storage_capacity_gb
+            budgets[executor.endpoint] = None if gb is None else gb * 1024.0
+        return budgets
 
     def executor_labels(self) -> List[str]:
         return [e.label for e in self.executors]

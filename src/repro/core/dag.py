@@ -221,8 +221,11 @@ class TaskGraph:
         return list(self._tasks.keys())
 
     def successors(self, task_id: str) -> List[Task]:
+        # Sorted for the same reason as predecessors(): consumers that act
+        # per successor (the data plane's prefetcher) must see a
+        # deterministic order regardless of hash randomisation.
         self.get(task_id)
-        return [self._tasks[t] for t in self._successors.get(task_id, ())]
+        return [self._tasks[t] for t in sorted(self._successors.get(task_id, ()))]
 
     def predecessors(self, task_id: str) -> List[Task]:
         # Sorted so consumers (input-file augmentation, input-size estimates)

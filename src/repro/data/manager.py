@@ -146,10 +146,13 @@ class DataManager:
         task_id: str,
         files: Iterable[RemoteFile],
         destination: str,
+        priority: float = 0.0,
     ) -> StagingTicket:
         """Ensure ``files`` are present on ``destination`` for ``task_id``.
 
         Returns a ticket that is already ``done`` when nothing needs to move.
+        ``priority`` is accepted for interface parity with the data plane
+        (:class:`~repro.dataplane.plane.DataPlane`); the FIFO path ignores it.
         """
         ticket = StagingTicket(
             task_id=task_id, destination=destination, created_at=self.clock.now()
@@ -230,8 +233,14 @@ class DataManager:
             size = queued.request.size_mb
             self.total_transferred_mb += size
             self.volume_by_pair_mb[pair] += size
+            # Attribute the moved volume to *live* tickets only: a ticket that
+            # already failed terminally (a sibling transfer exhausted its
+            # retries) must not keep accumulating volume, or per-ticket sums
+            # double-count against the Table IV/V aggregates.
+            live = [t for t in queued.tickets if not t.failed]
+            for ticket in live:
+                ticket.transferred_mb += size / len(live)
             for ticket in queued.tickets:
-                ticket.transferred_mb += size / len(queued.tickets)
                 ticket.pending_transfers.discard(queued.request.transfer_id)
                 if ticket.done and ticket.completed_at is None:
                     ticket.completed_at = self.clock.now()

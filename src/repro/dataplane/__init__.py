@@ -1,0 +1,51 @@
+"""The data-plane subsystem: replica store, transfer scheduler, prefetcher.
+
+A first-class data layer behind the staging interface of
+:class:`~repro.data.manager.DataManager`:
+
+* :class:`~repro.dataplane.replica_store.ReplicaStore` — per-endpoint storage
+  budgets, pinning for in-flight task inputs, pluggable eviction (LRU and
+  size-aware cost/benefit);
+* :class:`~repro.dataplane.transfer_scheduler.TransferScheduler` — per-link
+  priority queues with demand/prefetch service classes, cross-ticket
+  coalescing and cancellation;
+* :class:`~repro.dataplane.prefetch.Prefetcher` — pipelines staging of
+  ready-soon tasks' inputs behind their predecessors' execution;
+* :class:`~repro.dataplane.plane.DataPlane` — the facade composing them,
+  drop-in compatible with the legacy FIFO manager.
+
+Gated by ``Config.enable_dataplane`` (default on); ``--no-dataplane`` runs
+the paper's plain §IV-E staging path byte-identically.
+"""
+
+from repro.dataplane.plane import DataPlane
+from repro.dataplane.prefetch import Prefetcher
+from repro.dataplane.replica_store import (
+    CostBenefitEviction,
+    EvictionPolicy,
+    LRUEviction,
+    Replica,
+    ReplicaStore,
+    create_eviction_policy,
+)
+from repro.dataplane.transfer_scheduler import (
+    DEMAND,
+    PREFETCH,
+    TransferJob,
+    TransferScheduler,
+)
+
+__all__ = [
+    "CostBenefitEviction",
+    "DEMAND",
+    "DataPlane",
+    "EvictionPolicy",
+    "LRUEviction",
+    "PREFETCH",
+    "Prefetcher",
+    "Replica",
+    "ReplicaStore",
+    "TransferJob",
+    "TransferScheduler",
+    "create_eviction_policy",
+]

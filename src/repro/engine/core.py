@@ -38,6 +38,7 @@ from repro.core.futures import UniFuture
 from repro.data.manager import DataManager
 from repro.data.remote_file import GlobusFile, RemoteFile, RsyncFile
 from repro.data.transfer import LocalCopyTransferBackend, TransferBackend, TransferResult
+from repro.dataplane import DataPlane, Prefetcher
 from repro.elastic.scaling import DefaultScalingStrategy, NoScalingStrategy, ScalingStrategy
 from repro.engine.bus import EventBus
 from repro.engine.dispatch import DispatchCoordinator
@@ -47,6 +48,7 @@ from repro.engine.events import (
     EndpointRejoined,
     TaskCompleted,
     TaskDispatched,
+    TaskFailed,
     TaskPlaced,
     TaskReady,
     WorkerChurn,
@@ -118,15 +120,34 @@ class ExecutionEngine:
         self.transfer_profiler = TransferProfiler(store if store.transfer_count() else None)
         self.task_monitor.add_task_listener(self.execution_profiler.observe)
 
-        # Data manager.
+        # Data manager — either the data-plane subsystem (replica store +
+        # priority transfer scheduling + prefetch) or, with the plane
+        # disabled, the paper's plain FIFO staging path, byte-identically.
         backend = transfer_backend or LocalCopyTransferBackend(clock=self.clock)
-        self.data_manager = DataManager(
-            backend,
-            self.clock,
-            mechanism=config.transfer_mechanism,
-            max_concurrent_transfers=config.max_concurrent_transfers,
-            max_retries=config.max_transfer_retries,
-        )
+        if config.enable_dataplane:
+            default_storage = (
+                config.storage_capacity_gb * 1024.0
+                if config.storage_capacity_gb is not None
+                else None
+            )
+            self.data_manager: DataManager = DataPlane(
+                backend,
+                self.clock,
+                mechanism=config.transfer_mechanism,
+                max_concurrent_transfers=config.max_concurrent_transfers,
+                max_retries=config.max_transfer_retries,
+                storage_budget_mb=config.storage_budget_mb(),
+                default_storage_mb=default_storage,
+                eviction_policy=config.eviction_policy,
+            )
+        else:
+            self.data_manager = DataManager(
+                backend,
+                self.clock,
+                mechanism=config.transfer_mechanism,
+                max_concurrent_transfers=config.max_concurrent_transfers,
+                max_retries=config.max_transfer_retries,
+            )
         self.data_manager.add_transfer_callback(self._on_transfer_result)
 
         # Scheduler.
@@ -163,6 +184,12 @@ class ExecutionEngine:
         # Engine state.
         self.context: Optional[SchedulingContext] = None
         self._running = False
+        #: Outstanding consumers per task id — the data plane's output
+        #: lifecycle: when the count hits zero the producer's outputs are
+        #: *expendable* (their last replica may be evicted).  Maintained for
+        #: dynamic DAGs too: growing the workflow re-raises the count before
+        #: the new consumer runs.
+        self._consumer_counts: Dict[str, int] = {}
 
         # Observers first: the subscription order reproduces the inline call
         # order of the monolithic client (endpoint monitor, task monitor,
@@ -209,6 +236,48 @@ class ExecutionEngine:
         self.bus.subscribe(TaskReady, self._on_task_ready)
         self.bus.subscribe(TaskCompleted, self._on_task_completed)
 
+        # Data-plane wiring: pin lifecycle, crash cleanup and the prefetch
+        # pipeline.  Subscribed after the engine's own continuation so the
+        # prefetcher sees freshly registered outputs and final task states.
+        self.prefetcher: Optional[Prefetcher] = None
+        if isinstance(self.data_manager, DataPlane):
+            plane = self.data_manager
+            self.bus.subscribe(
+                TaskCompleted,
+                lambda e: plane.release_task(e.task_id) if e.success else None,
+            )
+            self.bus.subscribe(TaskFailed, lambda e: plane.release_task(e.task_id))
+            self.bus.subscribe(
+                EndpointCrashed, lambda e: plane.on_endpoint_crashed(e.endpoint)
+            )
+            if config.enable_prefetch:
+                self.prefetcher = Prefetcher(
+                    plane,
+                    self.graph,
+                    placement_hint=lambda task, claims=None: self.scheduler.placement_hint(
+                        task, claims
+                    ),
+                    endpoint_names=lambda: self.fabric.endpoint_names(),
+                )
+                self.bus.subscribe(
+                    TaskPlaced,
+                    lambda e: self.prefetcher.on_task_placed(e.task_id, e.endpoint),
+                )
+                self.bus.subscribe(
+                    TaskFailed,
+                    lambda e: self.prefetcher.on_task_terminal(e.task_id),
+                )
+                self.bus.subscribe(
+                    TaskDispatched,
+                    lambda e: self.prefetcher.on_predecessor_progress(e.task_id),
+                )
+                self.bus.subscribe(
+                    TaskCompleted,
+                    lambda e: self.prefetcher.on_predecessor_progress(e.task_id)
+                    if e.success
+                    else None,
+                )
+
     # ------------------------------------------------------------- submission
     def submit(self, fn: FederatedFunction, args: tuple, kwargs: Dict[str, Any]) -> UniFuture:
         """Register one invocation of ``fn`` and return its future."""
@@ -225,6 +294,13 @@ class ExecutionEngine:
 
         task = Task(function=fn, args=args, kwargs=kwargs, dependencies=dependencies)
         task.input_files = input_files
+        for dep in dependencies:
+            self._consumer_counts[dep] = self._consumer_counts.get(dep, 0) + 1
+            if isinstance(self.data_manager, DataPlane) and dep in self.graph:
+                # Dynamic DAG: a new consumer re-protects outputs the
+                # lifecycle hook may already have marked expendable.
+                for file in self.graph.get(dep).output_files:
+                    self.data_manager.store.reclaim(file)
         if endpoint_hint is not None:
             task.assigned_endpoint = str(endpoint_hint)
         self.graph.add_task(task, now=self.clock.now())
@@ -268,6 +344,8 @@ class ExecutionEngine:
                 )
             if stall_rounds > self.stall_soft_rounds:
                 self._diagnose_stall()
+        if isinstance(self.data_manager, DataPlane):
+            self.metrics.set_dataplane_stats(self.data_manager.stats_dict())
         self.metrics.workflow_finished(self.clock.now())
         self.fabric.flush()
 
@@ -387,6 +465,10 @@ class ExecutionEngine:
             output = file_cls(
                 f"{task.task_id}.out", size_mb=record.output_mb, location=record.endpoint
             )
+            # Register the produced replica with the data layer: a no-op for
+            # the FIFO manager (the location is already set), but the data
+            # plane charges it against the endpoint's storage budget.
+            self.data_manager.register_output(output, record.endpoint)
             task.output_files.append(output)
             if result_value is None:
                 result_value = output
@@ -409,6 +491,16 @@ class ExecutionEngine:
                     self.context.invalidate_task(successor.task_id)
         newly_ready = self.graph.mark_completed(task.task_id, now=record.completed_at)
         task.future.set_result(result_value)
+        if isinstance(self.data_manager, DataPlane):
+            # Output lifecycle: this completion may have been the last read
+            # of its parents' outputs — release their storage protection.
+            store = self.data_manager.store
+            for dep in sorted(task.dependencies):
+                remaining = self._consumer_counts.get(dep, 0) - 1
+                self._consumer_counts[dep] = remaining
+                if remaining <= 0 and dep in self.graph:
+                    for file in self.graph.get(dep).output_files:
+                        store.mark_expendable(file)
         for ready_task in newly_ready:
             self.bus.publish(
                 TaskReady.for_task(ready_task, time=self.clock.now(), via="dependencies")

@@ -60,15 +60,26 @@ class PlacementCoordinator:
 
         placed = 0
         now = engine.clock.now()
+        placed_ids = set()
         for placement in placements:
             task = engine.graph.get(placement.task_id)
             index.remove_queued(task.task_id)
+            placed_ids.add(task.task_id)
             engine.bus.publish(TaskPlaced.for_task(task, time=now, endpoint=placement.endpoint))
             placed += 1
         for task in pinned:
             index.remove_queued(task.task_id)
+            placed_ids.add(task.task_id)
             engine.bus.publish(
                 TaskPlaced.for_task(task, time=now, endpoint=task.assigned_endpoint)
             )
             placed += 1
+
+        # Ready tasks the scheduler left unplaced (no free capacity anywhere)
+        # are the hottest prefetch candidates: their inputs can start moving
+        # toward the hinted endpoint while they wait for a worker.
+        if engine.prefetcher is not None and len(placements) < len(unpinned):
+            for task in unpinned:
+                if task.task_id not in placed_ids:
+                    engine.prefetcher.consider_unplaced(task)
         return placed > 0

@@ -43,7 +43,11 @@ class StagingCoordinator:
         engine.graph.set_state(task.task_id, TaskState.SCHEDULED, now=now)
         engine.index.mark_undispatched(task.task_id, endpoint)
         engine.graph.set_state(task.task_id, TaskState.STAGING, now=now)
-        engine.data_manager.stage(task.task_id, task.input_files, endpoint)
+        # The task's DHA upward rank orders its transfers within the data
+        # plane's demand class (the FIFO path ignores the priority).
+        engine.data_manager.stage(
+            task.task_id, task.input_files, endpoint, priority=task.priority
+        )
 
     def _on_ticket_done(self, ticket: StagingTicket) -> None:
         engine = self._engine

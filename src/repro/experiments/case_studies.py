@@ -177,6 +177,12 @@ def run_case_study(
         rescheduling_interval_s=30.0,
         endpoint_sync_interval_s=30.0,
         batch_size=128,
+        # The case studies reproduce the published system, whose data layer
+        # is the plain §IV-E FIFO: the data plane's multi-source staging and
+        # prefetching would (deliberately) break Table IV/V invariants such
+        # as "Capacity moves the least data".  The plane has its own
+        # scenarios (storage-pressure, hot-dataset) and benchmark gates.
+        enable_dataplane=False,
     )
     client = env.make_client(config, metrics=metrics)
     if disable_endpoint_mocking:

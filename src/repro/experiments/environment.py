@@ -77,9 +77,20 @@ class SimulationEnvironment:
         enable_delay_mechanism: bool = True,
         enable_rescheduling: bool = True,
         enable_scaling: bool = False,
+        storage_gb: Optional[Dict[str, float]] = None,
         **overrides,
     ) -> Config:
-        executors = [ExecutorSpec(label=name, endpoint=name) for name in self.endpoints]
+        """Build a config for this deployment.
+
+        ``storage_gb`` optionally maps endpoint names to per-endpoint staging
+        storage budgets (the data plane's replica-store capacities); endpoints
+        not listed fall back to ``Config.storage_capacity_gb``.
+        """
+        storage = storage_gb or {}
+        executors = [
+            ExecutorSpec(label=name, endpoint=name, storage_gb=storage.get(name))
+            for name in self.endpoints
+        ]
         return Config(
             executors=executors,
             scheduling_strategy=scheduling_strategy,

@@ -8,8 +8,10 @@ Everything the paper's evaluation plots or tabulates is gathered here:
 * number of tasks in the data-staging state over time (Fig. 10),
 * tasks assigned per endpoint / per worker (Fig. 11),
 * number of re-scheduled tasks over time (Figs. 12–13),
-* per-component latency breakdown of a task (Fig. 5), and
-* real (wall-clock) scheduler overhead per task (Table III).
+* per-component latency breakdown of a task (Fig. 5),
+* real (wall-clock) scheduler overhead per task (Table III), and
+* the data-plane counters (bytes moved, cache hit rate, evictions,
+  prefetch usefulness) when the :mod:`repro.dataplane` subsystem is active.
 """
 
 from __future__ import annotations
@@ -90,6 +92,9 @@ class WorkflowSummary:
     mean_worker_utilization: float
     scheduler_overhead_per_task_s: float
     tasks_per_endpoint: Dict[str, int]
+    #: Data-plane counters (bytes moved, cache hit rate, evictions, prefetch
+    #: usefulness); empty when the subsystem is disabled.
+    dataplane: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -102,6 +107,7 @@ class WorkflowSummary:
             "mean_worker_utilization": self.mean_worker_utilization,
             "scheduler_overhead_per_task_s": self.scheduler_overhead_per_task_s,
             "tasks_per_endpoint": dict(self.tasks_per_endpoint),
+            "dataplane": dict(self.dataplane),
         }
 
 
@@ -140,6 +146,9 @@ class MetricsCollector:
         # Optional latency breakdowns keyed by task id (Fig. 5).
         self.latency_breakdowns: Dict[str, LatencyBreakdown] = {}
 
+        # Data-plane counters, pushed by the engine at workflow completion.
+        self.dataplane_stats: Dict[str, float] = {}
+
     # ----------------------------------------------------------------- events
     def workflow_started(self, now: float) -> None:
         self.started_at = now
@@ -164,6 +173,11 @@ class MetricsCollector:
 
     def record_latency_breakdown(self, task_id: str, breakdown: LatencyBreakdown) -> None:
         self.latency_breakdowns[task_id] = breakdown
+
+    def set_dataplane_stats(self, stats: Dict[str, float]) -> None:
+        """Install the data plane's counter snapshot (bytes moved, cache hit
+        rate, evictions, prefetch usefulness) for the workflow summary."""
+        self.dataplane_stats = dict(stats)
 
     # --------------------------------------------------------------- sampling
     def sample(
@@ -214,4 +228,5 @@ class MetricsCollector:
             mean_worker_utilization=self.utilization.mean(),
             scheduler_overhead_per_task_s=self.scheduler_overhead_per_task_s(),
             tasks_per_endpoint=dict(self.tasks_completed_by_endpoint),
+            dataplane=dict(self.dataplane_stats),
         )

@@ -91,6 +91,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         scale=args.scale,
         vectorized=False if args.no_vector else None,
+        dataplane=False if args.no_dataplane else None,
     )
     result = run_scenario(preset, max_wall_time_s=args.max_wall_time)
     scenario_id = _effective_id(args.name, args.scheduler, args.dynamics)
@@ -112,6 +113,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             scheduler=scheduler,
             seed=args.seed,
             vectorized=False if args.no_vector else None,
+            dataplane=False if args.no_dataplane else None,
         )
         result = run_scenario(spec, max_wall_time_s=args.max_wall_time)
         scenario_id = _effective_id(args.name, scheduler, args.dynamics)
@@ -157,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-vector", action="store_true",
                      help="run the scalar reference scheduler instead of the "
                           "array-backed vectorized hot path (byte-identical result)")
+    run.add_argument("--no-dataplane", action="store_true",
+                     help="stage through the paper's FIFO data manager instead of the "
+                          "data-plane subsystem (replica store / transfer scheduler / "
+                          "prefetcher); event digests match the pre-data-plane engine")
     run.add_argument("--out", default=".", help="directory for BENCH_<id>.json (default: cwd)")
     run.add_argument("--max-wall-time", type=float, default=600.0,
                      help="wall-clock budget for the run (seconds)")
@@ -171,6 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None, help="override the preset's dynamics regime")
     compare.add_argument("--no-vector", action="store_true",
                          help="run the scalar reference schedulers")
+    compare.add_argument("--no-dataplane", action="store_true",
+                         help="stage through the paper's FIFO data manager")
     compare.add_argument("--out", default=".", help="directory for BENCH artifacts")
     compare.add_argument("--max-wall-time", type=float, default=600.0,
                          help="wall-clock budget per run (seconds)")

@@ -196,6 +196,59 @@ def _build_registry() -> Dict[str, ScenarioSpec]:
                 horizon_s=400.0,
             ),
         ),
+        # ----------------------------------------------- data-plane regimes
+        ScenarioSpec(
+            name="storage-pressure",
+            description="Data-heavy layered DAG under tight storage budgets, LRU eviction "
+                        "and worker churn",
+            workload=WorkloadSpec(kind="layered", task_count=180, duration_s=3.0,
+                                  output_mb=48.0, layer_width=30),
+            topology=(
+                # Every layer (30 tasks) overflows the biggest endpoint, so
+                # placement spreads, outputs cross the WAN and the budgets
+                # below actually bite.
+                EndpointSpec(name="taiyi", cluster="taiyi", workers=12, max_workers=24,
+                             storage_gb=1.2),
+                EndpointSpec(name="qiming", cluster="qiming", workers=10, max_workers=20,
+                             storage_gb=0.9),
+                EndpointSpec(name="lab", cluster="lab", workers=8, max_workers=16,
+                             storage_gb=0.6),
+            ),
+            scheduler="DHA",
+            bandwidth_mbps=80.0,
+            dynamics=DynamicsSpec(churn=_CHURN, horizon_s=400.0),
+        ),
+        ScenarioSpec(
+            name="hot-dataset",
+            description="Shared hot dataset on a weak datastore site, fanned out over a "
+                        "tiered WAN: prefetch + cost/benefit eviction under a "
+                        "crash/rejoin cycle",
+            workload=WorkloadSpec(kind="hot_dataset", task_count=160, duration_s=3.0,
+                                  output_mb=8.0, layer_width=16,
+                                  shared_files=6, shared_mb=96.0),
+            topology=(
+                # Fast core of compute sites; the hot files live on the slow
+                # "datastore" edge site (the hot_dataset generator places the
+                # shared dataset on the last endpoint), so compute must pull
+                # them over the WAN — or serve them from prefetched replicas.
+                EndpointSpec(name="taiyi", cluster="taiyi", workers=18, max_workers=36,
+                             storage_gb=1.0),
+                EndpointSpec(name="qiming", cluster="qiming", workers=12, max_workers=24,
+                             storage_gb=0.75),
+                EndpointSpec(name="datastore", cluster="lab", workers=4, max_workers=8,
+                             storage_gb=2.0),
+            ),
+            scheduler="DHA",
+            bandwidth_mbps=100.0,
+            network_profile="tiered",
+            eviction_policy="cost_benefit",
+            dynamics=DynamicsSpec(
+                scripted=(
+                    TimelineEvent(at_s=40.0, action="crash", endpoint="qiming"),
+                    TimelineEvent(at_s=100.0, action="rejoin", endpoint="qiming", value=12.0),
+                ),
+            ),
+        ),
         # --------------------------------------------------- CI workhorse
         ScenarioSpec(
             name="ci-smoke",

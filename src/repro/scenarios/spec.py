@@ -71,6 +71,9 @@ class EndpointSpec:
     auto_scale: bool = False
     failure_rate: float = 0.0
     cold_start_penalty_s: float = 0.0
+    #: Staging-storage budget of this endpoint in GB (``None`` falls back to
+    #: the scenario-wide :attr:`ScenarioSpec.storage_gb`).
+    storage_gb: Optional[float] = None
 
     def to_setup(self) -> EndpointSetup:
         clusters = testbed_clusters()
@@ -99,11 +102,11 @@ class EndpointSpec:
 class WorkloadSpec:
     """Which workflow generator a scenario runs, and how big."""
 
-    #: "montage", "drug_screening", "stress" or "layered".
+    #: "montage", "drug_screening", "stress", "layered" or "hot_dataset".
     kind: str
     #: Fraction of the paper-scale workflow (montage / drug_screening).
     scale: float = 0.02
-    #: Task count for the synthetic generators (stress / layered).
+    #: Task count for the synthetic generators (stress / layered / hot_dataset).
     task_count: int = 200
     #: Per-task duration for the synthetic generators.
     duration_s: float = 4.0
@@ -111,6 +114,9 @@ class WorkloadSpec:
     output_mb: float = 5.0
     #: Layer width of the "layered" DAG generator.
     layer_width: int = 25
+    #: Hot-dataset generator: number of shared input files and size of each.
+    shared_files: int = 8
+    shared_mb: float = 64.0
 
     def build(self, client: UniFaaSClient) -> WorkloadInfo:
         if self.kind == "montage":
@@ -123,6 +129,8 @@ class WorkloadSpec:
             )
         if self.kind == "layered":
             return _build_layered_workload(client, self)
+        if self.kind == "hot_dataset":
+            return _build_hot_dataset_workload(client, self)
         raise ValueError(f"unknown workload kind {self.kind!r}")
 
     def task_types(self) -> List[TaskTypeSpec]:
@@ -134,6 +142,8 @@ class WorkloadSpec:
         if self.kind == "stress":
             return [TaskTypeSpec(name=f"stress_{self.duration_s:g}s",
                                  duration_s=self.duration_s, output_mb=self.output_mb)]
+        if self.kind == "hot_dataset":
+            return list(_hot_dataset_task_types(self))
         return [_layered_task_type(self)]
 
 
@@ -169,6 +179,61 @@ def _build_layered_workload(client: UniFaaSClient, workload: WorkloadSpec) -> Wo
     return info
 
 
+def _hot_dataset_task_types(workload: WorkloadSpec) -> List[TaskTypeSpec]:
+    return [
+        TaskTypeSpec(name="hot_prepare", duration_s=workload.duration_s, output_mb=0.0),
+        TaskTypeSpec(
+            name="hot_consume", duration_s=workload.duration_s, output_mb=workload.output_mb
+        ),
+    ]
+
+
+def _build_hot_dataset_workload(client: UniFaaSClient, workload: WorkloadSpec) -> WorkloadInfo:
+    """Many consumers share a hot input dataset.
+
+    A handful of large shared files live on the *last* endpoint of the
+    topology (presets put a small "datastore" site there); a layer of
+    compute-only *prepare* tasks gates a wide fan of *consume* tasks that
+    each read two of the shared files.  While the
+    prepare layer executes, every consumer is *ready-soon* — exactly the
+    window the data plane's prefetcher pipelines the hot files into, and the
+    re-used replicas are what the capacity-bounded store must keep (or
+    cheaply re-stage) under eviction pressure.
+    """
+    from repro.data.remote_file import GlobusFile
+
+    prepare_spec, consume_spec = _hot_dataset_task_types(workload)
+    prepare_fn = make_task_type(prepare_spec)
+    consume_fn = make_task_type(consume_spec)
+    # The dataset lives on the *last* endpoint of the topology — presets put
+    # a small "datastore" site there, so compute endpoints must pull the hot
+    # files over the WAN (or serve them from prefetched replicas).
+    home = client.fabric.endpoint_names()[-1]
+    shared = [
+        GlobusFile(f"hot-{i:03d}", size_mb=workload.shared_mb, location=home)
+        for i in range(max(1, workload.shared_files))
+    ]
+    info = WorkloadInfo(name="hot_dataset")
+    info.total_data_mb += sum(f.size_mb for f in shared)
+    with client:
+        prepares = []
+        for _ in range(max(1, workload.layer_width)):
+            future = prepare_fn()
+            info.register(future, prepare_spec.name, prepare_spec.duration_s, 0.0)
+            prepares.append(future)
+        consumers = max(0, workload.task_count - len(prepares))
+        for i in range(consumers):
+            gate = prepares[i % len(prepares)]
+            first = shared[i % len(shared)]
+            second = shared[(i + len(shared) // 2) % len(shared)]
+            inputs = (first,) if second is first else (first, second)
+            future = consume_fn(gate, *inputs)
+            info.register(
+                future, consume_spec.name, consume_spec.duration_s, workload.output_mb
+            )
+    return info
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """A fully declarative scenario: workload x topology x scheduler x dynamics."""
@@ -196,6 +261,23 @@ class ScenarioSpec:
     #: byte-identical either way (the equivalence tests gate on it); the CLI's
     #: ``--no-vector`` switches a run to the scalar reference implementation.
     vectorized: bool = True
+    #: Route staging through the data-plane subsystem (replica store +
+    #: priority transfer scheduling + prefetch).  The CLI's ``--no-dataplane``
+    #: switches a run to the paper's FIFO staging path, whose event digests
+    #: are unchanged from the pre-data-plane engine.
+    enable_dataplane: bool = True
+    #: Scenario-wide staging-storage budget per endpoint, in GB (``None`` =
+    #: unbounded; per-endpoint :attr:`EndpointSpec.storage_gb` overrides it).
+    storage_gb: Optional[float] = None
+    #: Replica-store eviction policy: "lru" or "cost_benefit".
+    eviction_policy: str = "lru"
+    #: Pipeline ready-soon tasks' staging behind predecessor execution.
+    enable_prefetch: bool = True
+    #: Network shape: "uniform" (all links at ``bandwidth_mbps``) or "tiered"
+    #: (the first half of the topology forms a fast core at
+    #: ``bandwidth_mbps``, every link touching the remaining edge endpoints
+    #: runs at a fifth of it).
+    network_profile: str = "uniform"
 
     def with_overrides(
         self,
@@ -205,11 +287,14 @@ class ScenarioSpec:
         dynamics: Optional[DynamicsSpec] = None,
         scale: Optional[float] = None,
         vectorized: Optional[bool] = None,
+        dataplane: Optional[bool] = None,
     ) -> "ScenarioSpec":
         """A copy with CLI-level overrides applied."""
         spec = self
         if vectorized is not None:
             spec = dataclasses.replace(spec, vectorized=vectorized)
+        if dataplane is not None:
+            spec = dataclasses.replace(spec, enable_dataplane=dataplane)
         if scheduler is not None:
             canonical = SCHEDULER_ALIASES.get(scheduler.lower())
             if canonical is None:
@@ -252,6 +337,8 @@ class ScenarioResult:
     determinism_digest: str
     #: Simulated makespan per extra diagnostic (endpoint crash count etc.).
     endpoint_crashes: int = 0
+    #: Data-plane counters (empty when the subsystem is disabled).
+    dataplane: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> str:
         """Canonical, byte-stable JSON payload (sorted keys, fixed floats)."""
@@ -277,6 +364,7 @@ class ScenarioResult:
                 "fired": self.dynamics_fired,
                 "count": len(self.dynamics_fired),
             },
+            "dataplane": {k: self.dataplane[k] for k in sorted(self.dataplane)},
             "determinism_digest": self.determinism_digest,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
@@ -302,9 +390,23 @@ def run_scenario(
     seed = spec.seed if seed is None else seed
     setups = [endpoint.to_setup() for endpoint in spec.topology]
     names = [s.name for s in setups]
-    network = NetworkModel.uniform(
-        names, bandwidth_mbps=spec.bandwidth_mbps, jitter=0.0, seed=seed
-    )
+    if spec.network_profile == "tiered":
+        network = NetworkModel.tiered(
+            names,
+            core_count=max(1, (len(names) + 1) // 2),
+            fast_mbps=spec.bandwidth_mbps,
+            slow_mbps=spec.bandwidth_mbps / 5.0,
+            jitter=0.0,
+            seed=seed,
+        )
+    elif spec.network_profile == "uniform":
+        network = NetworkModel.uniform(
+            names, bandwidth_mbps=spec.bandwidth_mbps, jitter=0.0, seed=seed
+        )
+    else:
+        raise ValueError(
+            f"unknown network profile {spec.network_profile!r}; expected uniform/tiered"
+        )
     latency = ServiceLatencyModel()
     env: SimulationEnvironment = build_simulation(
         setups, network=network, latency=latency, seed=seed
@@ -315,6 +417,13 @@ def run_scenario(
         enable_rescheduling=spec.enable_rescheduling,
         enable_scaling=spec.enable_scaling,
         enable_vectorized_scheduling=spec.vectorized,
+        enable_dataplane=spec.enable_dataplane,
+        enable_prefetch=spec.enable_prefetch,
+        storage_capacity_gb=spec.storage_gb,
+        eviction_policy=spec.eviction_policy,
+        storage_gb={
+            e.name: e.storage_gb for e in spec.topology if e.storage_gb is not None
+        },
         max_task_retries=spec.max_task_retries,
         endpoint_sync_interval_s=spec.endpoint_sync_interval_s,
         rescheduling_interval_s=spec.rescheduling_interval_s,
@@ -378,4 +487,5 @@ def _collect_result(
         dynamics_fired=[e.as_dict() for e in injector.fired],
         determinism_digest=digest.hexdigest(),
         endpoint_crashes=crashes,
+        dataplane=dict(summary.dataplane),
     )

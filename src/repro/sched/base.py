@@ -182,10 +182,29 @@ class SchedulingContext:
         return predicted
 
     def predicted_staging_time(self, task: Task, endpoint: str) -> float:
-        """Predicted time to stage the task's missing inputs onto ``endpoint``."""
+        """Predicted time to stage the task's missing inputs onto ``endpoint``.
+
+        With the data plane enabled the prediction is *multi-source*: each
+        file is costed from its cheapest replica, matching the transfer
+        scheduler's source selection.  With the plane disabled it reads the
+        primary replica only — exactly the paper's §IV-E behaviour, which the
+        ``--no-dataplane`` digest-equivalence guarantee pins.  The vector
+        path (:meth:`~repro.sched.vector.PredictionIndex._staging_row`)
+        mirrors both branches bit-identically.
+        """
+        multi_source = self.config.enable_dataplane
         total = 0.0
         for file in task.input_files:
             if file.available_at(endpoint) or file.size_mb <= 0:
+                continue
+            if multi_source:
+                sources = sorted(file.locations)
+                if not sources:
+                    continue
+                total += min(
+                    self.transfer_profiler.predict_transfer_time(src, endpoint, file.size_mb)
+                    for src in sources
+                )
                 continue
             source = file.primary_location
             if source is None:
@@ -296,6 +315,19 @@ class Scheduler(ABC):
     def reschedule(self, pending_tasks: Sequence[Task]) -> List[Placement]:
         """Re-scheduling pass over not-yet-dispatched tasks.  Optional."""
         return []
+
+    def placement_hint(
+        self, task: Task, virtual_claims: Optional[Dict[str, int]] = None
+    ) -> Optional[str]:
+        """Best guess of where ``task`` would be placed right now.
+
+        Side-effect free (no claims are taken).  ``virtual_claims`` lets the
+        caller model a batch the way :meth:`schedule` would — capacity its
+        own earlier guesses already spoken for.  The data plane's prefetcher
+        uses this to pick destinations for ready-soon tasks; ``None`` lets
+        the caller fall back to a locality guess.
+        """
+        return None
 
     # ----------------------------------------------------------- notifications
     def on_task_dispatched(self, task: Task, endpoint: str) -> None:

@@ -309,6 +309,33 @@ class DHAScheduler(Scheduler):
             wait += 0.5 * execution
         return max(staging, wait) + execution
 
+    def placement_hint(
+        self, task: Task, virtual_claims: Optional[Dict[str, int]] = None
+    ) -> Optional[str]:
+        """EFT selection over current state, without taking a real claim.
+
+        Runs the scalar reference selection (identical floats to the vector
+        path) so the data plane's prefetcher aims where ``schedule`` would
+        most likely send the task.  ``virtual_claims`` are overlaid on the
+        scheduler's claim table for the duration of the query — the same
+        claim-as-you-go backlog ``schedule`` itself applies over a batch —
+        and restored before returning.
+        """
+        if self.context is None or not self.context.endpoint_names():
+            return None
+        overlaid = []
+        if virtual_claims:
+            for endpoint, count in virtual_claims.items():
+                if count:
+                    self._claims[endpoint] = self._claims.get(endpoint, 0) + count
+                    overlaid.append((endpoint, count))
+        try:
+            endpoint, _ = self._select_endpoint(task)
+        finally:
+            for name, count in overlaid:
+                self._claims[name] -= count
+        return endpoint
+
     # --------------------------------------------------------- delay mechanism
     def should_dispatch(self, task: Task) -> bool:
         if not self.uses_delay_mechanism:

@@ -63,11 +63,22 @@ class LocalityScheduler(Scheduler):
     def _locality_selection(
         self, task: Task, candidates: List[str], unclaimed: dict
     ) -> str:
-        """Pick the candidate endpoint minimising the data moved (Fig. 3)."""
+        """Pick the candidate endpoint minimising the data moved (Fig. 3).
+
+        With the data plane enabled the metric is *bandwidth-aware*: the
+        predicted multi-source staging time replaces raw bytes, so a replica
+        behind a fat link beats a marginally closer one behind a slow WAN
+        path.  With the plane disabled the paper's plain bytes-moved rule is
+        preserved byte-identically.
+        """
         context = self._require_context()
+        bandwidth_aware = context.config.enable_dataplane
 
         def cost(endpoint: str) -> tuple:
-            moved = context.data_manager.bytes_to_move_mb(task.input_files, endpoint)
+            if bandwidth_aware:
+                moved = context.predicted_staging_time(task, endpoint)
+            else:
+                moved = context.data_manager.bytes_to_move_mb(task.input_files, endpoint)
             # Tie-break on free capacity (most idle workers first), then name
             # for determinism.
             return (moved, -unclaimed[endpoint], endpoint)

@@ -304,16 +304,31 @@ class PredictionIndex:
         The accumulation order (files outer, endpoints inner, contributions
         added in file order) matches
         :meth:`~repro.sched.base.SchedulingContext.predicted_staging_time`
-        exactly so the cells are bit-identical.
+        exactly so the cells are bit-identical — including the data-plane
+        gate: multi-source (cheapest replica) predictions when the plane is
+        enabled, primary-replica predictions when it is not.
         """
         context = self._context
         names = self.endpoint_names
         row = np.zeros(len(names))
         transfer = context.transfer_profiler
+        multi_source = context.config.enable_dataplane
         if task.input_files:
             for file in task.input_files:
                 size = file.size_mb
                 if size <= 0:
+                    continue
+                if multi_source:
+                    sources = sorted(file.locations)
+                    if not sources:
+                        continue
+                    for column, name in enumerate(names):
+                        if file.available_at(name):
+                            continue
+                        row[column] += min(
+                            transfer.predict_transfer_time(src, name, size)
+                            for src in sources
+                        )
                     continue
                 source = file.primary_location
                 if source is None:

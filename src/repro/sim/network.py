@@ -241,6 +241,47 @@ class NetworkModel:
         return cls(links=links, default_link=link, seed=seed)
 
     @classmethod
+    def tiered(
+        cls,
+        endpoint_names: Iterable[str],
+        core_count: int = 2,
+        fast_mbps: float = 150.0,
+        slow_mbps: float = 30.0,
+        latency_s: float = 0.05,
+        jitter: float = 0.0,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+    ) -> "NetworkModel":
+        """A two-tier federation: fast core sites, slow edge links.
+
+        The first ``core_count`` endpoints are connected to each other at
+        ``fast_mbps`` (a campus backbone); every link that touches an edge
+        endpoint runs at ``slow_mbps`` (institutional WAN).  The asymmetry
+        makes replica placement matter: the data plane's multi-source
+        selection can fetch from a core replica instead of the slow original,
+        and its eviction policies trade cheap-to-refetch core data against
+        expensive edge data.
+        """
+        names = list(endpoint_names)
+        if not 0 < core_count <= len(names):
+            raise ValueError("core_count must be within 1..len(endpoint_names)")
+        fast = LinkSpec(
+            bandwidth_mbps=fast_mbps, latency_s=latency_s, jitter=jitter,
+            failure_rate=failure_rate,
+        )
+        slow = LinkSpec(
+            bandwidth_mbps=slow_mbps, latency_s=latency_s, jitter=jitter,
+            failure_rate=failure_rate,
+        )
+        core = set(names[:core_count])
+        links = {}
+        for a in names:
+            for b in names:
+                if a != b:
+                    links[(a, b)] = fast if a in core and b in core else slow
+        return cls(links=links, default_link=slow, seed=seed)
+
+    @classmethod
     def testbed(cls, seed: int = 0) -> "NetworkModel":
         """Network approximating the paper's testbed.
 

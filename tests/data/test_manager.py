@@ -149,6 +149,41 @@ class TestRetries:
         assert manager.retry_count >= 1
         assert manager.failed_transfer_count >= 1
 
+    def test_retried_transfer_volume_counted_exactly_once(self):
+        # Regression (Table IV/V accounting): a failed-then-retried transfer
+        # contributes its size once to the aggregates and once to its
+        # ticket, no matter how many attempts it took.
+        kernel, _, manager = build_manager(failure_rate=0.5, max_retries=10, seed=3)
+        ticket = manager.stage("t1", [file_at("x", 10.0, "a")], "b")
+        kernel.run()
+        assert ticket.done and not ticket.failed
+        assert manager.retry_count >= 1
+        assert manager.total_transferred_mb == pytest.approx(10.0)
+        assert manager.volume_by_pair_mb[("a", "b")] == pytest.approx(10.0)
+        assert ticket.transferred_mb == pytest.approx(10.0)
+
+    def test_failed_ticket_stops_accumulating_volume(self):
+        # Regression: a ticket that failed terminally (one input exhausted
+        # its retries) must not keep accruing volume when a shared sibling
+        # transfer later succeeds — per-ticket sums would double-count
+        # against the aggregates.
+        from repro.sim.network import LinkSpec
+
+        kernel, net, manager = build_manager(max_concurrent=1)
+        net.set_link(
+            "c", "b", LinkSpec(bandwidth_mbps=100.0, jitter=0.0, failure_rate=1.0)
+        )
+        shared = file_at("x", 2000.0, "a")  # big: outlives y's retry ladder
+        doomed_extra = file_at("y", 1.0, "c")
+        survivor = manager.stage("ok", [shared], "b")
+        doomed = manager.stage("doomed", [shared, doomed_extra], "b")
+        kernel.run()
+        assert doomed.failed
+        assert survivor.done and not survivor.failed
+        assert doomed.transferred_mb == 0.0
+        assert survivor.transferred_mb == pytest.approx(2000.0)
+        assert manager.total_transferred_mb == pytest.approx(2000.0)
+
     def test_ticket_fails_after_exhausting_retries(self):
         kernel, _, manager = build_manager(failure_rate=1.0, max_retries=2)
         staged = []

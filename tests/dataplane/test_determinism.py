@@ -1,0 +1,53 @@
+"""Seeded determinism and digest guarantees of the data-plane scenarios."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.functions import set_current_client
+from repro.scenarios.presets import SCENARIOS, get_scenario
+from repro.scenarios.spec import run_scenario
+
+
+@pytest.fixture(autouse=True)
+def clean_client_context():
+    set_current_client(None)
+    yield
+    set_current_client(None)
+
+
+@pytest.mark.parametrize("name", ["storage-pressure", "hot-dataset"])
+def test_two_runs_identical_event_digests(name):
+    first = run_scenario(get_scenario(name))
+    set_current_client(None)
+    second = run_scenario(get_scenario(name))
+    assert first.determinism_digest == second.determinism_digest
+    assert first.to_json() == second.to_json()
+
+
+def test_dataplane_presets_exercise_the_subsystem():
+    result = run_scenario(get_scenario("storage-pressure"))
+    assert result.failed_tasks == 0
+    assert result.dataplane["evictions"] > 0
+    assert result.dataplane["prefetch_issued"] > 0
+    set_current_client(None)
+    result = run_scenario(get_scenario("hot-dataset"))
+    assert result.failed_tasks == 0
+    assert result.dataplane["bytes_moved_mb"] > 0
+    assert result.dataplane["prefetch_issued"] > 0
+
+
+def test_no_dataplane_flag_produces_empty_stats_and_runs_clean():
+    preset = dataclasses.replace(SCENARIOS["ci-smoke"], enable_dataplane=False)
+    result = run_scenario(preset)
+    assert result.failed_tasks == 0
+    assert result.dataplane == {}
+
+
+def test_dataplane_on_off_complete_the_same_workflow():
+    on = run_scenario(SCENARIOS["ci-smoke"])
+    set_current_client(None)
+    off = run_scenario(dataclasses.replace(SCENARIOS["ci-smoke"], enable_dataplane=False))
+    assert on.total_tasks == off.total_tasks
+    assert on.completed_tasks == off.completed_tasks
+    assert on.failed_tasks == off.failed_tasks == 0
