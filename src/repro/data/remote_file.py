@@ -21,7 +21,14 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, List, Optional, Set
 
-__all__ = ["RemoteFile", "GlobusFile", "RsyncFile", "RemoteDirectory", "location_version"]
+__all__ = [
+    "RemoteFile",
+    "GlobusFile",
+    "RsyncFile",
+    "RemoteDirectory",
+    "bump_location_version",
+    "location_version",
+]
 
 _file_counter = itertools.count()
 
@@ -40,6 +47,16 @@ def location_version() -> int:
 def _bump_location_version() -> None:
     global _location_version
     _location_version += 1
+
+
+def bump_location_version() -> None:
+    """Advance the replica-set generation without a location change.
+
+    Used when replica *reachability* changes (an endpoint crashing or
+    rejoining quarantines / restores its copies): the catalog is unchanged
+    but every location-stamped prediction cache must invalidate.
+    """
+    _bump_location_version()
 
 
 class RemoteFile:

@@ -150,9 +150,14 @@ class DataPlane(DataManager):
         self._tickets_by_task[task_id] = ticket
 
         sized = [f for f in files if f.size_mb > 0]
+        # Pin every input before tracking: track() enforces the destination
+        # budget, and a later input's resident home replica must already be
+        # pinned (pending pins apply at insert) so an earlier input's
+        # tracking cannot evict it out of this very task's working set.
+        for file in sized:
+            self.store.pin(file, destination, task_id)
         for file in sized:
             self.store.track(file)
-            self.store.pin(file, destination, task_id)
 
         missing = self.missing_files(sized, destination)
         missing_ids = {f.file_id for f in missing}
@@ -181,6 +186,13 @@ class DataPlane(DataManager):
     def prefetch(self, file: RemoteFile, destination: str, priority: float = 0.0) -> bool:
         """Speculatively move ``file`` toward ``destination``; True if issued."""
         if file.size_mb <= 0 or file.available_at(destination) or not file.locations:
+            return False
+        if self.store.is_offline(destination):
+            return False  # never speculate toward a crashed endpoint
+        if all(self.store.is_offline(s) for s in file.locations):
+            # Every replica is quarantined.  Demand staging falls back to an
+            # offline copy because the task cannot proceed otherwise;
+            # speculation has no such excuse and simply declines.
             return False
         if self.transfers.active_job(file.file_id, destination) is not None:
             return False
@@ -215,13 +227,23 @@ class DataPlane(DataManager):
 
     # --------------------------------------------------------------- dynamics
     def on_endpoint_crashed(self, endpoint: str) -> None:
-        """Cancel queued transfers toward a crashed endpoint.
+        """Quarantine the endpoint's replicas and cancel queued transfers to it.
 
-        Demand jobs are only cancelled once no *authoritative* ticket waits
-        on them (the failure coordinator re-places the stranded tasks, whose
-        new tickets supersede the old ones); prefetch jobs are speculative
-        and are dropped outright.
+        The replicas survive on disk (a rejoin brings them back — and when no
+        endpoint survives, stranded tasks deliberately wait for one), but
+        while the endpoint is down they are unreachable: multi-source
+        selection, refetch-cost estimates, prefetching and the store's
+        sole-replica eviction protection all stop counting them.  In-flight
+        transfers toward the endpoint are left to land — the copy is on that
+        disk and becomes useful again at rejoin — but quarantined like every
+        other replica there.
+
+        Queued demand jobs are only cancelled once no *authoritative* ticket
+        waits on them (the failure coordinator re-places the stranded tasks,
+        whose new tickets supersede the old ones); prefetch jobs are
+        speculative and are dropped outright.
         """
+        self.store.mark_offline(endpoint)
         for job in self.transfers.queued_jobs():
             if job.request.dst != endpoint:
                 continue
@@ -230,6 +252,26 @@ class DataPlane(DataManager):
                 continue
             if self.transfers.cancel(job):
                 self._detach_tickets(job)
+        # Queued jobs that chose the crashed endpoint as their *source* are
+        # re-issued from an online replica (same sweep eviction gets).  When
+        # no online replica is left, demand keeps its last-resort source but
+        # speculation is dropped — prefetch never copies from a corpse.  The
+        # cancel check runs first: _pick_source's quarantined-set fallback
+        # would otherwise "re-route" the prefetch to another crashed copy.
+        for job in self.transfers.queued_jobs():
+            if job.request.src != endpoint or job.request.dst == endpoint:
+                continue
+            if job.klass == PREFETCH and all(
+                self.store.is_offline(s) for s in job.request.file.locations
+            ):
+                if self.transfers.cancel(job):
+                    self._detach_tickets(job)
+                continue
+            self._reroute_job(job)
+
+    def on_endpoint_rejoined(self, endpoint: str) -> None:
+        """The endpoint came back: its surviving replicas are reachable again."""
+        self.store.mark_online(endpoint)
 
     # -------------------------------------------------------------- internal
     def _on_replica_evicted(self, replica) -> None:
@@ -241,44 +283,57 @@ class DataPlane(DataManager):
         are left alone (their copy was already under way).
         """
         for job in self.transfers.queued_jobs():
-            request = job.request
-            if request.src != replica.endpoint:
+            if job.request.src != replica.endpoint:
                 continue
-            if request.file.file_id != replica.file.file_id:
+            if job.request.file.file_id != replica.file.file_id:
                 continue
-            if not request.file.locations:
-                continue  # nothing left to copy from; the job keeps its fate
-            new_src = self._pick_source(request.file, request.dst)
-            if new_src == request.src:
-                continue
-            if not self.transfers.cancel(job):
-                continue
-            self.transfers.cancelled_count -= 1  # an internal re-route, not a cancel
-            fresh = TransferRequest(
-                file=request.file, src=new_src, dst=request.dst, mechanism=self.mechanism
+            self._reroute_job(job)
+
+    def _reroute_job(self, job: TransferJob) -> bool:
+        """Cancel-and-resubmit a queued job from the cheapest current source.
+
+        No-op (False) when the file has no replica left, the re-pick lands on
+        the same source, or the job already started.
+        """
+        request = job.request
+        if not request.file.locations:
+            return False  # nothing left to copy from; the job keeps its fate
+        new_src = self._pick_source(request.file, request.dst)
+        if new_src == request.src:
+            return False
+        if not self.transfers.cancel(job):
+            return False
+        self.transfers.cancelled_count -= 1  # an internal re-route, not a cancel
+        fresh = TransferRequest(
+            file=request.file, src=new_src, dst=request.dst, mechanism=self.mechanism
+        )
+        for ticket in job.tickets:
+            ticket.pending_transfers.discard(request.transfer_id)
+            ticket.pending_transfers.add(fresh.transfer_id)
+        self.transfers.submit(
+            TransferJob(
+                request=fresh,
+                klass=job.klass,
+                priority=job.priority,
+                tickets=job.tickets,
+                attempts=job.attempts,
+                prefetch_origin=job.prefetch_origin,
+                demand_joined=job.demand_joined,
+                prefetch_priority=job.prefetch_priority,
             )
-            for ticket in job.tickets:
-                ticket.pending_transfers.discard(request.transfer_id)
-                ticket.pending_transfers.add(fresh.transfer_id)
-            self.transfers.submit(
-                TransferJob(
-                    request=fresh,
-                    klass=job.klass,
-                    priority=job.priority,
-                    tickets=job.tickets,
-                    attempts=job.attempts,
-                    prefetch_origin=job.prefetch_origin,
-                    demand_joined=job.demand_joined,
-                    prefetch_priority=job.prefetch_priority,
-                )
-            )
+        )
+        return True
 
     def _authoritative(self, ticket: StagingTicket) -> bool:
         return self._tickets_by_task.get(ticket.task_id) is ticket and not ticket.failed
 
     def _refetch_cost_s(self, file: RemoteFile, endpoint: str) -> float:
-        """Cheapest predicted re-staging time from the *other* replicas."""
-        sources = [s for s in sorted(file.locations) if s != endpoint]
+        """Cheapest predicted re-staging time from the *other* online replicas."""
+        sources = [
+            s
+            for s in sorted(file.locations)
+            if s != endpoint and not self.store.is_offline(s)
+        ]
         if not sources:
             return float("inf")
         return min(
@@ -287,12 +342,18 @@ class DataPlane(DataManager):
         )
 
     def _pick_source(self, file: RemoteFile, destination: str) -> str:
-        """Cheapest replica over the network, discounted by link pressure."""
+        """Cheapest *online* replica over the network, discounted by link
+        pressure.  When every replica sits on a crashed endpoint, demand
+        deliberately falls back to a quarantined copy — degrading to the
+        legacy permissive behavior rather than failing the workflow — so the
+        quarantine only shapes the choice while an online replica exists."""
         sources = sorted(file.locations)
         if not sources:
             raise ValueError(
                 f"file {file.name!r} has no replica to stage to {destination!r} from"
             )
+        online = [s for s in sources if not self.store.is_offline(s)]
+        sources = online or sources
         if len(sources) == 1:
             return sources[0]
         limit = self.transfers.max_concurrent_per_link

@@ -103,13 +103,18 @@ class Prefetcher:
         """A task failed terminally: its guess — and the guesses of any
         successors the failure cascaded into cancelling — must not keep
         booking phantom backlog.  Terminal events are rare, so one sweep of
-        the outstanding guesses is cheap."""
+        the outstanding guesses is cheap.  The unplaced-starvation marker is
+        dropped too, so terminally failed tasks cannot accumulate in
+        ``_unplaced_seen`` forever."""
+        self._unplaced_seen.discard(task_id)
         self._release_guess(task_id)
         for guessed_id in list(self._guesses):
             if guessed_id not in self._graph:
                 self._release_guess(guessed_id)
+                self._unplaced_seen.discard(guessed_id)
             elif self._graph.get(guessed_id).state in TERMINAL_STATES:
                 self._release_guess(guessed_id)
+                self._unplaced_seen.discard(guessed_id)
 
     def _release_guess(self, task_id: str) -> Optional[str]:
         guess = self._guesses.pop(task_id, None)

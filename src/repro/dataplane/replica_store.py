@@ -37,7 +37,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.data.remote_file import RemoteFile
+from repro.data.remote_file import RemoteFile, bump_location_version
 
 __all__ = [
     "CostBenefitEviction",
@@ -142,6 +142,10 @@ class ReplicaStore:
         self._pending_pins: Dict[Tuple[str, str], Set[str]] = {}
         #: Files whose consumers all completed: sole replicas become fair game.
         self._expendable: Set[str] = set()
+        #: Endpoints currently crashed: their replicas survive on disk (a
+        #: rejoin brings them back) but are quarantined — they count neither
+        #: as eviction backups nor as re-staging sources while down.
+        self._offline: Set[str] = set()
         self._usage: Dict[str, float] = {}
         self._touch_seq = itertools.count(1)
 
@@ -176,12 +180,21 @@ class ReplicaStore:
 
     # --------------------------------------------------------------- tracking
     def track(self, file: RemoteFile, *, prefetched: bool = False) -> None:
-        """Account ``file``'s current replica locations (idempotent)."""
+        """Account ``file``'s current replica locations (idempotent).
+
+        Pre-existing replicas (workflow-declared inputs, home copies) are
+        charged against the endpoint budget like any arrival: tracking one
+        enforces the budget, so an endpoint seeded beyond capacity evicts —
+        or records overflow — instead of silently exceeding its budget until
+        the next :meth:`admit`.
+        """
         if file.size_mb <= 0:
             return
         for endpoint in sorted(file.locations):
             if self.replica(file.file_id, endpoint) is None:
                 self._insert(file, endpoint, prefetched=prefetched)
+                if endpoint not in self._offline:
+                    self._enforce_budget(endpoint, protect=file.file_id)
 
     def admit(self, file: RemoteFile, endpoint: str, *, prefetched: bool = False) -> List[Replica]:
         """A replica of ``file`` arrived at ``endpoint``; make room for it.
@@ -197,6 +210,11 @@ class ReplicaStore:
             existing.last_touch = next(self._touch_seq)
             return []
         self._insert(file, endpoint, prefetched=prefetched)
+        if endpoint in self._offline:
+            # An in-flight arrival landing on a crashed disk must not evict
+            # quarantined replicas promised to survive until rejoin; the
+            # budget is settled by mark_online().
+            return []
         return self._enforce_budget(endpoint, protect=file.file_id)
 
     def touch(self, file: RemoteFile, endpoint: str) -> None:
@@ -218,6 +236,36 @@ class ReplicaStore:
 
     def is_expendable(self, file_id: str) -> bool:
         return file_id in self._expendable
+
+    # ------------------------------------------------------------- liveness
+    def mark_offline(self, endpoint: str) -> None:
+        """``endpoint`` crashed: quarantine its replicas until it rejoins.
+
+        Reachability changes invalidate location-stamped prediction caches
+        (scalar staging memo, vector staging matrix) via the replica-set
+        generation, exactly like a catalog change would.
+        """
+        if endpoint in self._offline:
+            return
+        self._offline.add(endpoint)
+        bump_location_version()
+
+    def mark_online(self, endpoint: str) -> None:
+        """``endpoint`` rejoined: its surviving replicas are reachable again.
+
+        The budget deferred while the endpoint was down is re-applied now —
+        arrivals that landed on the crashed disk never evicted anything (a
+        dead machine does not reshape the catalog), so the rejoin settles
+        any excess with full knowledge of what is reachable.
+        """
+        if endpoint not in self._offline:
+            return
+        self._offline.discard(endpoint)
+        bump_location_version()
+        self._enforce_budget(endpoint, protect=None)
+
+    def is_offline(self, endpoint: str) -> bool:
+        return endpoint in self._offline
 
     def reclaim(self, file: RemoteFile) -> None:
         """A new consumer appeared (dynamic DAG): re-protect the file.
@@ -281,7 +329,7 @@ class ReplicaStore:
             self.peak_usage_mb[endpoint] = usage
         return replica
 
-    def _enforce_budget(self, endpoint: str, protect: str) -> List[Replica]:
+    def _enforce_budget(self, endpoint: str, protect: Optional[str]) -> List[Replica]:
         capacity = self.capacity_mb(endpoint)
         if capacity is None:
             return []
@@ -297,13 +345,13 @@ class ReplicaStore:
             evicted.append(victim)
         return evicted
 
-    def _select_victim(self, endpoint: str, protect: str) -> Optional[Replica]:
+    def _select_victim(self, endpoint: str, protect: Optional[str]) -> Optional[Replica]:
         candidates = [
             replica
             for file_id, replica in self._replicas.get(endpoint, {}).items()
             if file_id != protect
             and not replica.pinned
-            and (len(replica.file.locations) > 1 or file_id in self._expendable)
+            and (self._has_reachable_backup(replica, endpoint) or file_id in self._expendable)
             and replica.file.available_at(endpoint)
         ]
         if not candidates:
@@ -317,6 +365,18 @@ class ReplicaStore:
             return self._refetch_cost(replica.file, endpoint)
 
         return min(candidates, key=lambda r: self.policy.key(r, refetch(r)))
+
+    def _has_reachable_backup(self, replica: Replica, endpoint: str) -> bool:
+        """Another replica exists at a currently *online* endpoint.
+
+        A copy quarantined at a crashed endpoint must not license evicting
+        the only reachable one — until the crash site rejoins, that copy
+        cannot serve a re-stage.
+        """
+        return any(
+            loc != endpoint and loc not in self._offline
+            for loc in replica.file.locations
+        )
 
     def _evict(self, replica: Replica) -> None:
         self._replicas[replica.endpoint].pop(replica.file.file_id, None)

@@ -62,6 +62,12 @@ class TransferJob:
     #: The priority the prefetch pipeline issued the job with — restored when
     #: a demand upgrade is superseded and the job falls back to speculation.
     prefetch_priority: float = 0.0
+    #: Token of the job's single *live* heap entry.  Every (re-)push mints a
+    #: new token, so stale lazy-deletion entries are recognised exactly even
+    #: when a demote restores a key identical to an earlier entry's — and the
+    #: token doubles as a unique heap tiebreaker, so heapq never has to
+    #: compare two TransferJob payloads.
+    queue_token: int = -1
 
     @property
     def link(self) -> Link:
@@ -90,7 +96,8 @@ class TransferScheduler:
         self.prefetch_slots_per_link = max(1, max_concurrent_per_link - 1)
         self._on_done = on_done
         self._seq = itertools.count()
-        self._queues: Dict[Link, List[Tuple[Tuple, TransferJob]]] = {}
+        self._push_seq = itertools.count()
+        self._queues: Dict[Link, List[Tuple[Tuple, int, TransferJob]]] = {}
         self._in_flight: Dict[Link, int] = {}
         self._in_flight_prefetch: Dict[Link, int] = {}
         #: Live queued (not started, not cancelled) jobs per link — kept as a
@@ -151,7 +158,7 @@ class TransferScheduler:
         job.klass = klass
         job.priority = priority
         # Lazy-deletion re-push: the stale heap entry is skipped because its
-        # recorded key no longer matches the job's current key.
+        # token no longer matches the job's current queue_token.
         self._push(job)
         self.pump(job.link)
 
@@ -195,8 +202,8 @@ class TransferScheduler:
         if not queue:
             return
         while queue and self._in_flight.get(link, 0) < self.max_concurrent_per_link:
-            key, job = queue[0]
-            if job.cancelled or job.started or key != job.sort_key():
+            _key, token, job = queue[0]
+            if job.cancelled or job.started or token != job.queue_token:
                 heapq.heappop(queue)  # stale or lazy-deleted entry
                 continue
             if (
@@ -210,7 +217,11 @@ class TransferScheduler:
             self._queues.pop(link, None)
 
     def _push(self, job: TransferJob) -> None:
-        heapq.heappush(self._queues.setdefault(job.link, []), (job.sort_key(), job))
+        job.queue_token = next(self._push_seq)
+        heapq.heappush(
+            self._queues.setdefault(job.link, []),
+            (job.sort_key(), job.queue_token, job),
+        )
 
     def _dispatch(self, job: TransferJob) -> None:
         link = job.link

@@ -250,6 +250,9 @@ class ExecutionEngine:
             self.bus.subscribe(
                 EndpointCrashed, lambda e: plane.on_endpoint_crashed(e.endpoint)
             )
+            self.bus.subscribe(
+                EndpointRejoined, lambda e: plane.on_endpoint_rejoined(e.endpoint)
+            )
             if config.enable_prefetch:
                 self.prefetcher = Prefetcher(
                     plane,

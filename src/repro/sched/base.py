@@ -181,15 +181,34 @@ class SchedulingContext:
         self._exec_cache[key] = (predicted, generation)
         return predicted
 
+    def staging_sources(self, file) -> List[str]:
+        """Candidate source replicas for a multi-source staging prediction.
+
+        Mirrors ``DataPlane._pick_source``'s candidate set: replicas at
+        online endpoints, falling back to the full (quarantined) set only
+        when no online replica is left.  Keeping predictions on the same
+        candidates as the transfer scheduler stops placements from being
+        costed against a fast replica sitting on a crashed endpoint.
+        """
+        sources = sorted(file.locations)
+        if not sources:
+            return sources
+        store = getattr(self.data_manager, "store", None)
+        if store is None:
+            return sources
+        online = [s for s in sources if not store.is_offline(s)]
+        return online or sources
+
     def predicted_staging_time(self, task: Task, endpoint: str) -> float:
         """Predicted time to stage the task's missing inputs onto ``endpoint``.
 
         With the data plane enabled the prediction is *multi-source*: each
         file is costed from its cheapest replica, matching the transfer
-        scheduler's source selection.  With the plane disabled it reads the
-        primary replica only — exactly the paper's §IV-E behaviour, which the
-        ``--no-dataplane`` digest-equivalence guarantee pins.  The vector
-        path (:meth:`~repro.sched.vector.PredictionIndex._staging_row`)
+        scheduler's source selection (including its quarantine of crashed
+        endpoints — see :meth:`staging_sources`).  With the plane disabled it
+        reads the primary replica only — exactly the paper's §IV-E behaviour,
+        which the ``--no-dataplane`` digest-equivalence guarantee pins.  The
+        vector path (:meth:`~repro.sched.vector.PredictionIndex._staging_row`)
         mirrors both branches bit-identically.
         """
         multi_source = self.config.enable_dataplane
@@ -198,7 +217,7 @@ class SchedulingContext:
             if file.available_at(endpoint) or file.size_mb <= 0:
                 continue
             if multi_source:
-                sources = sorted(file.locations)
+                sources = self.staging_sources(file)
                 if not sources:
                     continue
                 total += min(

@@ -319,7 +319,7 @@ class PredictionIndex:
                 if size <= 0:
                     continue
                 if multi_source:
-                    sources = sorted(file.locations)
+                    sources = context.staging_sources(file)
                     if not sources:
                         continue
                     for column, name in enumerate(names):

@@ -134,6 +134,20 @@ class TestLifecycle:
         assert store.pinned_mb("site_b") == 0.0
 
 
+class TestUnplacedBookkeeping:
+    def test_unplaced_markers_cleared_on_placement_and_terminal_failure(self):
+        # Regression: tasks that left the READY state without being placed
+        # (terminal failure) must not stay in _unplaced_seen forever — the
+        # set would grow unboundedly and permanently skip retried tasks.
+        env, client = build_env()
+        prefetcher = client.engine.prefetcher
+        assert prefetcher is not None
+        prefetcher._unplaced_seen.update({"t-placed", "t-failed"})
+        prefetcher.on_task_placed("t-placed", "site_a")
+        prefetcher.on_task_terminal("t-failed")
+        assert prefetcher._unplaced_seen == set()
+
+
 class TestVirtualClaims:
     def test_unpinned_consumers_fan_out_across_endpoints(self):
         # Without pinning, a wave of compute-heavy ready-soon siblings must

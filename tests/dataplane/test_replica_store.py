@@ -47,6 +47,26 @@ class TestTrackingAndBudget:
         assert store.admit(f, "a") == []
         assert store.eviction_count == 0
 
+    def test_track_over_budget_enforces_eviction(self):
+        # Regression: pre-existing/home replicas recorded via track() must be
+        # held to the endpoint budget like any admitted arrival.
+        store = make_store(capacity_mb=100.0)
+        old = file_at("old", 80.0, "a", "b")
+        store.track(old)
+        seeded = file_at("seeded", 50.0, "a", "b")
+        store.track(seeded)
+        assert not old.available_at("a")
+        assert old.available_at("b")
+        assert store.usage_mb("a") == pytest.approx(50.0)
+        assert store.eviction_count == 1
+
+    def test_track_records_unevictable_overflow(self):
+        store = make_store(capacity_mb=100.0)
+        store.track(file_at("sole1", 80.0, "a"))  # sole replicas: unevictable
+        store.track(file_at("sole2", 50.0, "a"))
+        assert store.eviction_count == 0
+        assert store.peak_overflow_mb == pytest.approx(30.0)
+
     def test_admit_over_budget_evicts_and_removes_location(self):
         store = make_store(capacity_mb=100.0)
         old = file_at("old", 80.0, "a", "b")  # second replica: evictable
@@ -113,6 +133,45 @@ class TestPinning:
         evicted = store.admit(file_at("new2", 40.0, "a"), "a")
         assert [r.file.name for r in evicted] == ["sole"]
         assert not sole.locations
+
+
+class TestOfflineQuarantine:
+    def test_offline_backup_does_not_license_eviction(self):
+        # A second copy quarantined at a crashed endpoint must not count as
+        # the "other live replica" that makes the reachable copy evictable.
+        store = make_store(capacity_mb=100.0)
+        f = file_at("x", 80.0, "a", "b")
+        store.track(f)
+        store.mark_offline("b")
+        assert store.admit(file_at("new", 50.0, "a"), "a") == []
+        assert f.available_at("a")
+
+    def test_rejoin_restores_evictability(self):
+        store = make_store(capacity_mb=100.0)
+        f = file_at("x", 80.0, "a", "b")
+        store.track(f)
+        store.mark_offline("b")
+        store.mark_online("b")
+        evicted = store.admit(file_at("new", 50.0, "a"), "a")
+        assert [r.file.name for r in evicted] == ["x"]
+
+    def test_admit_at_offline_endpoint_defers_eviction_to_rejoin(self):
+        # An in-flight arrival landing on a crashed disk must not evict the
+        # quarantined replicas promised to survive until rejoin; the budget
+        # is settled when the endpoint comes back.
+        store = make_store(capacity_mb=100.0)
+        x = file_at("x", 80.0, "a", "b")
+        store.track(x)
+        store.mark_offline("a")
+        landed = file_at("landed", 90.0, "a")
+        assert store.admit(landed, "a") == []
+        assert x.available_at("a")
+        assert store.eviction_count == 0
+        store.mark_online("a")  # rejoin re-applies the budget
+        assert not x.available_at("a")
+        assert x.available_at("b")
+        assert landed.available_at("a")
+        assert store.usage_mb("a") == pytest.approx(90.0)
 
 
 class TestPolicies:

@@ -305,8 +305,11 @@ class TestCancellation:
         # The source of a queued transfer is not pinned; when it is evicted
         # the job must re-route to a surviving replica instead of "copying"
         # from an endpoint that no longer holds the file.
+        # Budget fits the tracked working set (hot 100 + blocker 500) so the
+        # eviction below comes from the explicit admission, after the hot
+        # transfer is already queued with src=a.
         kernel, net, plane = build_plane(
-            endpoints=("a", "b", "c", "d"), max_concurrent=1, storage={"a": 150.0}
+            endpoints=("a", "b", "c", "d"), max_concurrent=1, storage={"a": 620.0}
         )
         net.set_link("c", "b", LinkSpec(bandwidth_mbps=10.0, jitter=0.0))
         blocker = file_at("blocker", 500.0, "a")
@@ -334,3 +337,154 @@ class TestCancellation:
         assert plane.transfers.cancelled_count == 0
         assert ticket.done and not ticket.failed
         assert needed.available_at("b")
+
+
+class TestQueueEntryTokens:
+    def test_demote_after_upgrade_leaves_exactly_one_live_entry(self):
+        # Regression: demoting an upgraded prefetch re-pushes a heap entry
+        # whose key is identical to its stale pre-upgrade entry.  The
+        # per-push token must (1) keep heapq from ever comparing TransferJob
+        # payloads and (2) mark the stale twin dead, so the job cannot be
+        # double-dispatched off the resurrected entry.
+        kernel, _, plane = build_plane(max_concurrent=1)
+        blocker = file_at("blocker", 500.0, "a")
+        hot = file_at("hot", 100.0, "a")
+        plane.stage("t0", [blocker], "b")  # occupies the single slot
+        plane.prefetch(hot, "b", priority=1.0)
+        plane.stage("t1", [hot], "b", priority=9.0)  # upgrade to demand
+        plane.stage("t1", [hot], "c")  # supersede: demote back to original key
+        job = plane.transfers.active_job(hot.file_id, "b")
+        queue = plane.transfers._queues[("a", "b")]
+        live = [entry for entry in queue if entry[1] == entry[2].queue_token]
+        assert len(live) == 1 and live[0][2] is job
+        kernel.run()
+        assert job.attempts == 1  # dispatched once, not once per heap entry
+        # blocker + the re-placed demand copy to c + the demoted prefetch to b
+        assert plane.total_transferred_mb == pytest.approx(700.0)
+
+
+class TestCrashQuarantine:
+    def test_multi_source_avoids_crashed_replica(self):
+        kernel, net, plane = build_plane(bandwidth=10.0)
+        net.set_link("c", "b", LinkSpec(bandwidth_mbps=1000.0, jitter=0.0))
+        file = file_at("x", 100.0, "a", "c")
+        plane.store.track(file)
+        plane.on_endpoint_crashed("c")  # the fast replica is unreachable
+        ticket = plane.stage("t1", [file], "b")
+        kernel.run()
+        assert ticket.done and not ticket.failed
+        assert plane.volume_by_pair_mb[("a", "b")] == pytest.approx(100.0)
+        assert plane.volume_by_pair_mb[("c", "b")] == 0.0
+
+    def test_rejoined_replica_becomes_a_source_again(self):
+        kernel, net, plane = build_plane(bandwidth=10.0)
+        net.set_link("c", "b", LinkSpec(bandwidth_mbps=1000.0, jitter=0.0))
+        file = file_at("x", 100.0, "a", "c")
+        plane.store.track(file)
+        plane.on_endpoint_crashed("c")
+        plane.on_endpoint_rejoined("c")
+        plane.stage("t1", [file], "b")
+        kernel.run()
+        assert plane.volume_by_pair_mb[("c", "b")] == pytest.approx(100.0)
+
+    def test_quarantined_sole_replica_is_still_a_last_resort_source(self):
+        # When every replica sits on crashed endpoints, demand staging falls
+        # back to them (mirroring the stranded-task wait-for-rejoin policy)
+        # instead of failing the workflow outright.
+        kernel, _, plane = build_plane()
+        only = file_at("x", 50.0, "a")
+        plane.on_endpoint_crashed("a")
+        ticket = plane.stage("t1", [only], "b")
+        kernel.run()
+        assert ticket.done and not ticket.failed
+
+    def test_inflight_arrival_at_crashed_destination_is_quarantined(self):
+        # The copy lands on the crashed endpoint's disk (usable after a
+        # rejoin) but must not serve as a transfer source while it is down.
+        kernel, net, plane = build_plane()
+        net.set_link("b", "c", LinkSpec(bandwidth_mbps=1000.0, jitter=0.0))
+        file = file_at("x", 100.0, "a")
+        plane.stage("t1", [file], "b")
+        plane.on_endpoint_crashed("b")  # transfer toward b is in flight
+        kernel.run()
+        assert file.available_at("b")  # landed, quarantined
+        plane.stage("t2", [file], "c")
+        kernel.run()
+        # Without quarantine the fast b->c link would win the source pick.
+        assert plane.volume_by_pair_mb[("a", "c")] == pytest.approx(100.0)
+        assert plane.volume_by_pair_mb[("b", "c")] == 0.0
+
+    def test_crash_reroutes_queued_transfers_from_the_dead_source(self):
+        # A job queued before the crash chose the (then-cheapest) source
+        # that just died: it must be re-issued from an online replica, like
+        # the eviction path does, instead of later "copying" from the corpse.
+        kernel, net, plane = build_plane(max_concurrent=1)
+        net.set_link("c", "b", LinkSpec(bandwidth_mbps=1000.0, jitter=0.0))
+        blocker = file_at("blocker", 500.0, "c")
+        hot = file_at("hot", 100.0, "a", "c")
+        plane.stage("t0", [blocker], "b")  # occupies the fast c->b slot
+        ticket = plane.stage("t1", [hot], "b")  # queued on c->b, src=c
+        plane.on_endpoint_crashed("c")
+        kernel.run()
+        assert ticket.done and not ticket.failed
+        assert plane.volume_by_pair_mb[("a", "b")] == pytest.approx(100.0)
+        assert plane.volume_by_pair_mb[("c", "b")] == pytest.approx(500.0)  # blocker only
+
+    def test_stage_never_evicts_a_sibling_resident_input(self):
+        # track()-time budget enforcement must not push a later input's
+        # already-resident replica out of the destination while tracking an
+        # earlier input of the same task: all inputs are pinned up front.
+        kernel, _, plane = build_plane(storage={"b": 100.0})
+        f2 = file_at("f2", 60.0, "a", "b")
+        plane.store.admit(f2, "b")  # resident, tracked, unpinned
+        f1 = file_at("f1", 60.0, "b")  # resident but never tracked (seeded input)
+        ticket = plane.stage("t1", [f1, f2], "b")
+        assert ticket.done and not ticket.failed
+        assert plane.cache_hits == 2 and plane.cache_misses == 0
+        assert f2.available_at("b")
+        assert plane.store.eviction_count == 0
+        assert plane.store.peak_overflow_mb == pytest.approx(20.0)
+
+    def test_prefetch_refuses_crashed_destination_and_sources(self):
+        _, _, plane = build_plane()
+        hot = file_at("hot", 50.0, "a")
+        plane.on_endpoint_crashed("b")
+        assert not plane.prefetch(hot, "b")  # destination is down
+        plane.on_endpoint_rejoined("b")
+        plane.on_endpoint_crashed("a")
+        assert not plane.prefetch(hot, "b")  # every replica is quarantined
+        plane.on_endpoint_rejoined("a")
+        assert plane.prefetch(hot, "b")
+
+    def test_crash_drops_queued_prefetch_whose_only_source_died(self):
+        # Demand may fall back to a quarantined source; a queued prefetch
+        # must instead be cancelled — speculation never copies from a corpse.
+        kernel, _, plane = build_plane(max_concurrent=1)
+        blocker = file_at("blocker", 500.0, "a")
+        hot = file_at("hot", 100.0, "a")
+        plane.stage("t0", [blocker], "b")  # occupies the a->b slot
+        plane.prefetch(hot, "b")  # queued behind it, src=a
+        plane.on_endpoint_crashed("a")
+        kernel.run()
+        assert not hot.available_at("b")
+        assert plane.transfers.cancelled_count == 1
+        assert plane.total_transferred_mb == pytest.approx(500.0)  # blocker only
+
+    def test_second_crash_cancels_rerouted_prefetch_instead_of_corpse_hopping(self):
+        # A prefetch rerouted off one crashed source must be *cancelled* when
+        # its new source crashes too — _pick_source's quarantined-set
+        # fallback must not bounce it between corpses.
+        kernel, net, plane = build_plane(max_concurrent=1)
+        net.set_link("c", "b", LinkSpec(bandwidth_mbps=1000.0, jitter=0.0))
+        plane.stage("t0", [file_at("blocker-a", 500.0, "a")], "b")  # saturates a->b
+        plane.stage("t1", [file_at("blocker-c", 500.0, "c")], "b")  # saturates c->b
+        hot = file_at("hot", 100.0, "a", "c")
+        plane.prefetch(hot, "b")  # fast c wins the source pick; queued
+        plane.on_endpoint_crashed("c")
+        job = plane.transfers.active_job(hot.file_id, "b")
+        assert job is not None and job.request.src == "a"  # rerouted, still queued
+        plane.on_endpoint_crashed("a")  # no online replica left
+        assert plane.transfers.active_job(hot.file_id, "b") is None
+        kernel.run()
+        assert not hot.available_at("b")
+        assert plane.total_transferred_mb == pytest.approx(1000.0)  # blockers only
