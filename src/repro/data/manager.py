@@ -22,11 +22,22 @@ from repro.data.remote_file import RemoteFile
 from repro.data.transfer import TransferBackend, TransferRequest, TransferResult
 from repro.sim.kernel import Clock
 
-__all__ = ["DataManager", "StagingTicket"]
+__all__ = ["DataManager", "StagingTicket", "task_namespace"]
 
 _ticket_counter = itertools.count()
 
 StagedCallback = Callable[["StagingTicket"], None]
+
+
+def task_namespace(task_id: str) -> str:
+    """The workflow namespace of a task id ("" on the single-workflow path).
+
+    The multi-workflow serving layer prefixes every tenant's task ids with
+    ``<workflow>/``; the data layer attributes per-ticket transfer volume to
+    that namespace so tenants' bytes can be accounted separately.
+    """
+    head, sep, _ = task_id.partition("/")
+    return head if sep else ""
 
 
 @dataclass
@@ -38,6 +49,11 @@ class StagingTicket:
     ticket_id: str = field(default_factory=lambda: f"stage-{next(_ticket_counter):08d}")
     pending_transfers: Set[str] = field(default_factory=set)
     failed: bool = False
+    #: A newer placement of the same task replaced this ticket.  Superseded
+    #: tickets never fire staged callbacks and accrue no transfer volume —
+    #: the staging coordinator must not observe a "staged" event for a
+    #: destination the task already left.
+    superseded: bool = False
     created_at: float = 0.0
     completed_at: Optional[float] = None
     #: Data volume this ticket moved across endpoints (MB).
@@ -105,6 +121,9 @@ class DataManager:
         self.failed_transfer_count = 0
         self.retry_count = 0
         self.volume_by_pair_mb: Dict[Tuple[str, str], float] = defaultdict(float)
+        #: Transfer volume attributed per workflow namespace (multi-tenant
+        #: serving; the single-workflow path accumulates under "").
+        self.volume_by_namespace_mb: Dict[str, float] = defaultdict(float)
 
     # -------------------------------------------------------------- callbacks
     def add_staged_callback(self, callback: StagedCallback) -> None:
@@ -154,6 +173,17 @@ class DataManager:
         ``priority`` is accepted for interface parity with the data plane
         (:class:`~repro.dataplane.plane.DataPlane`); the FIFO path ignores it.
         """
+        previous = self._tickets_by_task.get(task_id)
+        if previous is not None and not previous.done:
+            # The task was re-placed while its old ticket was still staging.
+            # Mark the old ticket superseded so its in-flight transfers can
+            # neither fire a stale "staged" callback for the abandoned
+            # destination nor accrue volume (parity with the data plane's
+            # supersede-and-cancel path; FIFO transfers are left to land —
+            # another ticket may be waiting on the same copy).
+            previous.superseded = True
+            previous.completed_at = self.clock.now()
+            self._open_ticket_count -= 1
         ticket = StagingTicket(
             task_id=task_id, destination=destination, created_at=self.clock.now()
         )
@@ -193,13 +223,23 @@ class DataManager:
         file.add_location(endpoint)
 
     # -------------------------------------------------------------- internal
-    def _pick_source(self, file: RemoteFile, destination: str) -> str:
-        """Choose the replica to copy from (cheapest estimated transfer)."""
+    def _pick_source(
+        self, file: RemoteFile, destination: str, exclude: Iterable[str] = ()
+    ) -> str:
+        """Choose the replica to copy from (cheapest estimated transfer).
+
+        ``exclude`` drops replicas that just failed to serve (retry path);
+        when every replica is excluded the full set is used as a last resort.
+        """
         sources = sorted(file.locations)
         if not sources:
             raise ValueError(
                 f"file {file.name!r} has no replica to stage to {destination!r} from"
             )
+        excluded = set(exclude)
+        if excluded:
+            remaining = [s for s in sources if s not in excluded]
+            sources = remaining or sources
         if len(sources) == 1:
             return sources[0]
         return min(
@@ -235,13 +275,18 @@ class DataManager:
             self.volume_by_pair_mb[pair] += size
             # Attribute the moved volume to *live* tickets only: a ticket that
             # already failed terminally (a sibling transfer exhausted its
-            # retries) must not keep accumulating volume, or per-ticket sums
-            # double-count against the Table IV/V aggregates.
-            live = [t for t in queued.tickets if not t.failed]
+            # retries) or was superseded by a re-placement must not keep
+            # accumulating volume, or per-ticket sums double-count against
+            # the Table IV/V aggregates.
+            live = [t for t in queued.tickets if not t.failed and not t.superseded]
             for ticket in live:
-                ticket.transferred_mb += size / len(live)
+                share = size / len(live)
+                ticket.transferred_mb += share
+                self.volume_by_namespace_mb[task_namespace(ticket.task_id)] += share
             for ticket in queued.tickets:
                 ticket.pending_transfers.discard(queued.request.transfer_id)
+                if ticket.superseded:
+                    continue  # a newer ticket owns this task's staging
                 if ticket.done and ticket.completed_at is None:
                     ticket.completed_at = self.clock.now()
                     self._open_ticket_count -= 1
@@ -250,11 +295,18 @@ class DataManager:
             self.failed_transfer_count += 1
             if queued.attempts <= self.max_retries:
                 self.retry_count += 1
-                self._queues[pair].append(queued)
+                # Re-pick the source before re-queueing (parity with the data
+                # plane's ``_reroute_job``): under crash/brownout dynamics the
+                # chosen replica's link may be dead while another replica is
+                # perfectly reachable — retrying into the same dead (src, dst)
+                # queue would burn every retry for nothing.
+                retry_pair = self._requeue_for_retry(queued)
+                if retry_pair != pair:
+                    self._pump_pair(retry_pair)
             else:
                 self._active_file_transfers.pop(dedup_key, None)
                 for ticket in queued.tickets:
-                    if ticket.failed:
+                    if ticket.failed or ticket.superseded:
                         continue
                     ticket.failed = True
                     ticket.pending_transfers.discard(queued.request.transfer_id)
@@ -263,6 +315,29 @@ class DataManager:
                     self._notify(ticket)
 
         self._pump_pair(pair)
+
+    def _requeue_for_retry(self, queued: _QueuedTransfer) -> Tuple[str, str]:
+        """Queue a failed transfer for another attempt, re-picking its source.
+
+        Prefers a replica other than the one that just failed; waiting
+        tickets' pending-transfer ids follow the rebuilt request.  Returns
+        the (src, dst) pair the retry was queued on.
+        """
+        request = queued.request
+        file = request.file
+        if len(file.locations) > 1:
+            new_src = self._pick_source(file, request.dst, exclude=(request.src,))
+            if new_src != request.src:
+                fresh = TransferRequest(
+                    file=file, src=new_src, dst=request.dst, mechanism=self.mechanism
+                )
+                for ticket in queued.tickets:
+                    ticket.pending_transfers.discard(request.transfer_id)
+                    ticket.pending_transfers.add(fresh.transfer_id)
+                queued.request = fresh
+        retry_pair = (queued.request.src, queued.request.dst)
+        self._queues[retry_pair].append(queued)
+        return retry_pair
 
     def _notify(self, ticket: StagingTicket) -> None:
         for callback in self._staged_callbacks:

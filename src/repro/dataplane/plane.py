@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from repro.data.manager import DataManager, StagingTicket
+from repro.data.manager import DataManager, StagingTicket, task_namespace
 from repro.data.remote_file import RemoteFile
 from repro.data.transfer import TransferBackend, TransferRequest, TransferResult
 from repro.dataplane.replica_store import ReplicaStore, create_eviction_policy
@@ -341,17 +341,25 @@ class DataPlane(DataManager):
             for src in sources
         )
 
-    def _pick_source(self, file: RemoteFile, destination: str) -> str:
+    def _pick_source(
+        self, file: RemoteFile, destination: str, exclude: Iterable[str] = ()
+    ) -> str:
         """Cheapest *online* replica over the network, discounted by link
         pressure.  When every replica sits on a crashed endpoint, demand
         deliberately falls back to a quarantined copy — degrading to the
         legacy permissive behavior rather than failing the workflow — so the
-        quarantine only shapes the choice while an online replica exists."""
+        quarantine only shapes the choice while an online replica exists.
+        ``exclude`` (interface parity with the legacy manager's retry path)
+        drops just-failed replicas, falling back to the full set."""
         sources = sorted(file.locations)
         if not sources:
             raise ValueError(
                 f"file {file.name!r} has no replica to stage to {destination!r} from"
             )
+        excluded = set(exclude)
+        if excluded:
+            remaining = [s for s in sources if s not in excluded]
+            sources = remaining or sources
         online = [s for s in sources if not self.store.is_offline(s)]
         sources = online or sources
         if len(sources) == 1:
@@ -403,6 +411,7 @@ class DataPlane(DataManager):
     def _supersede(self, ticket: StagingTicket) -> None:
         """A newer placement replaced ``ticket``: release what only it needs."""
         self.superseded_tickets += 1
+        ticket.superseded = True
         for job in self.transfers.active_jobs():
             if ticket not in job.tickets:
                 continue
@@ -456,12 +465,14 @@ class DataPlane(DataManager):
                 # The arrival directly served demand: mark the replica used so
                 # the prefetch-hit accounting cannot count it a second time.
                 self.store.touch(job.request.file, job.request.dst)
-            live = [t for t in job.tickets if not t.failed]
+            live = [t for t in job.tickets if not t.failed and not t.superseded]
             now = self.clock.now()
             for ticket in live:
                 # Volume attribution: live tickets only, exactly once per
                 # successful transfer — retries never double-count.
-                ticket.transferred_mb += size / len(live)
+                share = size / len(live)
+                ticket.transferred_mb += share
+                self.volume_by_namespace_mb[task_namespace(ticket.task_id)] += share
                 ticket.pending_transfers.discard(job.request.transfer_id)
                 if ticket.done and ticket.completed_at is None:
                     ticket.completed_at = now

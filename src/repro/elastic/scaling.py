@@ -18,7 +18,66 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
-__all__ = ["ScalingDecision", "ScalingStrategy", "DefaultScalingStrategy", "NoScalingStrategy"]
+__all__ = [
+    "ScalingDecision",
+    "ScalingStrategy",
+    "DefaultScalingStrategy",
+    "NoScalingStrategy",
+    "largest_remainder_split",
+]
+
+
+def largest_remainder_split(
+    total: int,
+    weights: Mapping[str, float],
+    caps: Optional[Mapping[str, int]] = None,
+    tiebreak: Optional[Mapping[str, float]] = None,
+) -> Dict[str, int]:
+    """Split ``total`` units proportionally to ``weights``, deterministically.
+
+    Integer apportionment by the largest-remainder (Hamilton) method: each
+    key gets the floor of its exact proportional quota, and the leftover
+    units go to the largest fractional remainders.  Ties — and therefore the
+    whole allocation — resolve deterministically: by ``tiebreak`` value
+    (ascending) when given, then by key.  ``caps`` bounds each key's
+    allocation; capped leftovers spill to the remaining keys.  Keys with
+    non-positive weight (or cap) always get zero.  Used by the elastic
+    scaler's shortfall split and the serving layer's fair-share arbitration.
+    """
+    out = {key: 0 for key in weights}
+    eligible = {
+        key: w
+        for key, w in weights.items()
+        if w > 0 and (caps is None or caps.get(key, 0) > 0)
+    }
+    if total <= 0 or not eligible:
+        return out
+    if caps is not None:
+        total = min(total, sum(caps[key] for key in eligible))
+    weight_sum = sum(eligible.values())
+    quotas = {key: total * w / weight_sum for key, w in eligible.items()}
+    for key in eligible:
+        floor = int(quotas[key])
+        out[key] = floor if caps is None else min(floor, caps[key])
+    leftover = total - sum(out.values())
+    order = sorted(
+        eligible,
+        key=lambda key: (
+            -(quotas[key] - int(quotas[key])),
+            tiebreak.get(key, 0.0) if tiebreak is not None else 0.0,
+            key,
+        ),
+    )
+    while leftover > 0 and order:
+        for key in list(order):
+            if leftover <= 0:
+                break
+            if caps is not None and out[key] >= caps[key]:
+                order.remove(key)
+                continue
+            out[key] += 1
+            leftover -= 1
+    return out
 
 
 @dataclass(frozen=True)
@@ -76,6 +135,8 @@ class DefaultScalingStrategy(ScalingStrategy):
     def __init__(self, caps: Optional[Mapping[str, int]] = None) -> None:
         #: Optional per-endpoint cap overriding the endpoint's own maximum
         #: (the ``max_workers`` field of :class:`~repro.core.config.ExecutorSpec`).
+        #: An entry here replaces the endpoint's advertised maximum entirely —
+        #: it may lower *or* raise the growth target.
         self.caps = dict(caps or {})
 
     def decide(
@@ -88,19 +149,17 @@ class DefaultScalingStrategy(ScalingStrategy):
             return ScalingDecision.none()
 
         shortfall = pending_tasks - total_workers
-        requests: Dict[str, int] = {}
         headrooms: Dict[str, int] = {}
         for name, view in endpoints.items():
             cap = self.caps.get(name, view.max_workers)
-            headrooms[name] = max(0, min(cap, view.max_workers) - view.active_workers)
-        total_headroom = sum(headrooms.values())
-        if total_headroom == 0:
+            headrooms[name] = max(0, cap - view.active_workers)
+        if sum(headrooms.values()) == 0:
             return ScalingDecision.none()
 
-        for name, headroom in headrooms.items():
-            if headroom <= 0:
-                continue
-            # Scale out aggressively: ask for the whole shortfall, bounded by
-            # what this endpoint may still grow by.
-            requests[name] = min(headroom, shortfall)
+        # Split the shortfall proportionally to how much of it each endpoint
+        # can absorb (its headroom), with deterministic largest-remainder
+        # rounding, so the total requested equals the shortfall (or the total
+        # headroom when the shortfall exceeds it) instead of N × shortfall.
+        split = largest_remainder_split(shortfall, headrooms, caps=headrooms)
+        requests = {name: count for name, count in split.items() if count > 0}
         return ScalingDecision(workers_to_request=requests)

@@ -69,11 +69,67 @@ from repro.profiling.transfer import TransferProfiler
 from repro.sched import create_scheduler
 from repro.sched.base import Scheduler, SchedulingContext
 
-__all__ = ["ENDPOINT_HINT_KWARG", "ExecutionEngine"]
+__all__ = [
+    "ENDPOINT_HINT_KWARG",
+    "ExecutionEngine",
+    "build_data_manager",
+    "build_scaling_strategy",
+]
 
 #: Reserved keyword argument that pins a task to a specific endpoint,
 #: bypassing the scheduler (used by the elasticity experiments).
 ENDPOINT_HINT_KWARG = "unifaas_endpoint"
+
+
+def build_data_manager(config: Config, backend: TransferBackend, clock) -> DataManager:
+    """The data layer a ``config`` asks for: the data-plane subsystem
+    (replica store + priority transfer scheduling + prefetch) or, with the
+    plane disabled, the paper's plain FIFO staging path, byte-identically.
+
+    Shared between the single-workflow engine and the multi-workflow
+    serving layer (:class:`~repro.serving.manager.WorkflowManager`), which
+    builds *one* data manager for all tenant workflows.
+    """
+    if config.enable_dataplane:
+        default_storage = (
+            config.storage_capacity_gb * 1024.0
+            if config.storage_capacity_gb is not None
+            else None
+        )
+        return DataPlane(
+            backend,
+            clock,
+            mechanism=config.transfer_mechanism,
+            max_concurrent_transfers=config.max_concurrent_transfers,
+            max_retries=config.max_transfer_retries,
+            storage_budget_mb=config.storage_budget_mb(),
+            default_storage_mb=default_storage,
+            eviction_policy=config.eviction_policy,
+        )
+    return DataManager(
+        backend,
+        clock,
+        mechanism=config.transfer_mechanism,
+        max_concurrent_transfers=config.max_concurrent_transfers,
+        max_retries=config.max_transfer_retries,
+    )
+
+
+def build_scaling_strategy(config: Config) -> ScalingStrategy:
+    """The elasticity strategy a ``config`` asks for (§IV-H).
+
+    Also shared with the serving layer, where scaling is a federation-level
+    concern: the manager aggregates every tenant's pending pressure into one
+    strategy built here, while tenant engines get a no-op.
+    """
+    if not config.enable_scaling:
+        return NoScalingStrategy()
+    caps = {
+        spec.endpoint: spec.max_workers
+        for spec in config.executors
+        if spec.max_workers is not None
+    }
+    return DefaultScalingStrategy(caps=caps)
 
 
 class ExecutionEngine:
@@ -98,6 +154,12 @@ class ExecutionEngine:
         history_store: Optional[HistoryStore] = None,
         metrics: Optional[MetricsCollector] = None,
         scaling_check_interval_s: float = 10.0,
+        endpoint_monitor: Optional[EndpointMonitor] = None,
+        execution_profiler: Optional[ExecutionProfiler] = None,
+        transfer_profiler: Optional[TransferProfiler] = None,
+        task_monitor: Optional[TaskMonitor] = None,
+        data_manager: Optional[DataManager] = None,
+        namespace: str = "",
     ) -> None:
         self.config = config
         self.fabric = fabric
@@ -105,50 +167,48 @@ class ExecutionEngine:
         self.graph = TaskGraph()
         self.bus = EventBus()
         self.index = TaskIndex()
+        #: Workflow namespace prefixing this engine's task ids (multi-tenant
+        #: serving); "" keeps the process-global task counter of the
+        #: single-workflow path byte-identically.
+        self.namespace = namespace
+        self._task_seq = 0
+        #: Whether this engine built its own data manager (single-workflow
+        #: path).  Under the serving layer the manager owns the shared data
+        #: plane and wires its crash/rejoin + profiler observers exactly once.
+        self._owns_data_manager = data_manager is None
+        self._owns_task_monitor = task_monitor is None
 
-        # Monitors.
-        store = history_store or HistoryStore(config.history_db_path or ":memory:")
-        self.task_monitor = TaskMonitor(store)
-        self.endpoint_monitor = EndpointMonitor(
+        # Monitors.  Shared components (multi-workflow serving) are injected;
+        # the single-workflow path builds its own, warm-started from history.
+        store: Optional[HistoryStore] = None
+        if task_monitor is None or execution_profiler is None or transfer_profiler is None:
+            store = history_store or HistoryStore(config.history_db_path or ":memory:")
+        self.task_monitor = task_monitor or TaskMonitor(store)
+        self.endpoint_monitor = endpoint_monitor or EndpointMonitor(
             lambda name: fabric.endpoint_status(name),
             self.clock,
             sync_interval_s=config.endpoint_sync_interval_s,
         )
 
         # Profilers (warm-started from history when available).
-        self.execution_profiler = ExecutionProfiler(store if store.task_count() else None)
-        self.transfer_profiler = TransferProfiler(store if store.transfer_count() else None)
-        self.task_monitor.add_task_listener(self.execution_profiler.observe)
+        self.execution_profiler = execution_profiler or ExecutionProfiler(
+            store if store is not None and store.task_count() else None
+        )
+        self.transfer_profiler = transfer_profiler or TransferProfiler(
+            store if store is not None and store.transfer_count() else None
+        )
+        if self._owns_task_monitor:
+            self.task_monitor.add_task_listener(self.execution_profiler.observe)
 
         # Data manager — either the data-plane subsystem (replica store +
         # priority transfer scheduling + prefetch) or, with the plane
         # disabled, the paper's plain FIFO staging path, byte-identically.
-        backend = transfer_backend or LocalCopyTransferBackend(clock=self.clock)
-        if config.enable_dataplane:
-            default_storage = (
-                config.storage_capacity_gb * 1024.0
-                if config.storage_capacity_gb is not None
-                else None
-            )
-            self.data_manager: DataManager = DataPlane(
-                backend,
-                self.clock,
-                mechanism=config.transfer_mechanism,
-                max_concurrent_transfers=config.max_concurrent_transfers,
-                max_retries=config.max_transfer_retries,
-                storage_budget_mb=config.storage_budget_mb(),
-                default_storage_mb=default_storage,
-                eviction_policy=config.eviction_policy,
-            )
+        if data_manager is not None:
+            self.data_manager: DataManager = data_manager
         else:
-            self.data_manager = DataManager(
-                backend,
-                self.clock,
-                mechanism=config.transfer_mechanism,
-                max_concurrent_transfers=config.max_concurrent_transfers,
-                max_retries=config.max_transfer_retries,
-            )
-        self.data_manager.add_transfer_callback(self._on_transfer_result)
+            backend = transfer_backend or LocalCopyTransferBackend(clock=self.clock)
+            self.data_manager = build_data_manager(config, backend, self.clock)
+            self.data_manager.add_transfer_callback(self._on_transfer_result)
 
         # Scheduler.
         if scheduler is not None:
@@ -166,17 +226,7 @@ class ExecutionEngine:
             self.scheduler = create_scheduler(config.strategy, **kwargs)
 
         # Elasticity.
-        if scaling_strategy is not None:
-            self.scaling_strategy = scaling_strategy
-        elif config.enable_scaling:
-            caps = {
-                spec.endpoint: spec.max_workers
-                for spec in config.executors
-                if spec.max_workers is not None
-            }
-            self.scaling_strategy = DefaultScalingStrategy(caps=caps)
-        else:
-            self.scaling_strategy = NoScalingStrategy()
+        self.scaling_strategy = scaling_strategy or build_scaling_strategy(config)
 
         # Metrics.
         self.metrics = metrics or MetricsCollector()
@@ -247,12 +297,15 @@ class ExecutionEngine:
                 lambda e: plane.release_task(e.task_id) if e.success else None,
             )
             self.bus.subscribe(TaskFailed, lambda e: plane.release_task(e.task_id))
-            self.bus.subscribe(
-                EndpointCrashed, lambda e: plane.on_endpoint_crashed(e.endpoint)
-            )
-            self.bus.subscribe(
-                EndpointRejoined, lambda e: plane.on_endpoint_rejoined(e.endpoint)
-            )
+            if self._owns_data_manager:
+                # A shared plane (serving layer) gets these exactly once, on
+                # the manager's control bus — not once per tenant workflow.
+                self.bus.subscribe(
+                    EndpointCrashed, lambda e: plane.on_endpoint_crashed(e.endpoint)
+                )
+                self.bus.subscribe(
+                    EndpointRejoined, lambda e: plane.on_endpoint_rejoined(e.endpoint)
+                )
             if config.enable_prefetch:
                 self.prefetcher = Prefetcher(
                     plane,
@@ -295,7 +348,21 @@ class ExecutionEngine:
             elif isinstance(value, RemoteFile):
                 input_files.append(value)
 
-        task = Task(function=fn, args=args, kwargs=kwargs, dependencies=dependencies)
+        if self.namespace:
+            # Workflow-namespaced ids: deterministic per workflow regardless
+            # of how tenant submissions interleave in the process, and unique
+            # across the federation so the shared replica store's pins and
+            # per-ticket accounting never alias between tenants.
+            task = Task(
+                function=fn,
+                args=args,
+                kwargs=kwargs,
+                dependencies=dependencies,
+                task_id=f"{self.namespace}/task-{self._task_seq:08d}",
+            )
+            self._task_seq += 1
+        else:
+            task = Task(function=fn, args=args, kwargs=kwargs, dependencies=dependencies)
         task.input_files = input_files
         for dep in dependencies:
             self._consumer_counts[dep] = self._consumer_counts.get(dep, 0) + 1
@@ -347,10 +414,40 @@ class ExecutionEngine:
                 )
             if stall_rounds > self.stall_soft_rounds:
                 self._diagnose_stall()
-        if isinstance(self.data_manager, DataPlane):
-            self.metrics.set_dataplane_stats(self.data_manager.stats_dict())
-        self.metrics.workflow_finished(self.clock.now())
+        self.finalize()
         self.fabric.flush()
+
+    def finalize(self) -> None:
+        """Close out the run's metrics (also called per workflow when this
+        engine runs under the multi-workflow serving layer)."""
+        if isinstance(self.data_manager, DataPlane) and self._owns_data_manager:
+            self.metrics.set_dataplane_stats(self.data_manager.stats_dict())
+        self.metrics.set_wait_times(self.wait_times())
+        self.metrics.workflow_finished(self.clock.now())
+
+    def wait_times(self) -> List[float]:
+        """Per-task ready-to-execution-start wait, in task-id order.
+
+        The quantity the serving layer's arbitration policies trade between
+        tenants: how long a runnable task sat in client queues (placement,
+        staging, delay mechanism, dispatch) before a worker started it.
+        """
+        waits: List[float] = []
+        for task in self.graph:
+            ts = task.timestamps
+            if ts.ready is not None and ts.started is not None:
+                waits.append(max(0.0, ts.started - ts.ready))
+        return waits
+
+    def start(self) -> None:
+        """Begin execution bookkeeping without driving the run loop.
+
+        The multi-workflow serving layer drives the shared fabric itself and
+        pumps each tenant engine; it calls this once per workflow when the
+        workflow's (possibly staggered) arrival comes due.  Idempotent.
+        """
+        if not self._running:
+            self._start()
 
     def _start(self) -> None:
         self._running = True

@@ -12,11 +12,11 @@ monitor (mock update) and the scheduler (claim release) subscribe to.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import TYPE_CHECKING, Deque, Dict
+from typing import TYPE_CHECKING, Deque, Dict, Mapping, Optional, Tuple
 
 from repro.core.dag import Task, TaskState
 from repro.core.exceptions import UniFaaSError
-from repro.engine.events import StagingDone, TaskDispatched
+from repro.engine.events import StagingDone, TaskDispatched, TaskPlaced
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.core import ExecutionEngine
@@ -30,36 +30,93 @@ class DispatchCoordinator:
     def __init__(self, engine: "ExecutionEngine") -> None:
         self._engine = engine
         self._staged_queues: Dict[str, Deque[str]] = defaultdict(deque)
+        #: Incremental mirror of the *live* queue entries — ``task_id ->
+        #: (endpoint, cores)`` plus per-endpoint core sums — so the serving
+        #: layer's per-round demand query is O(endpoints), not O(queued).
+        #: Entries leave on dispatch, on any stale pop, and on re-placement
+        #: (a new TaskPlaced supersedes the old queue position).
+        self._staged_entries: Dict[str, Tuple[str, int]] = {}
+        self._staged_counts: Dict[str, int] = {}
         engine.bus.subscribe(StagingDone, self._on_staging_done)
+        engine.bus.subscribe(TaskPlaced, self._on_task_placed)
 
     # ---------------------------------------------------------------- events
     def _on_staging_done(self, event: StagingDone) -> None:
         if event.failed:
             return  # the failure coordinator owns this outcome
         self._staged_queues[event.endpoint].append(event.task_id)
+        self._forget(event.task_id)  # a retry may still sit in an old queue
+        cores = event.task.cores
+        self._staged_entries[event.task_id] = (event.endpoint, cores)
+        self._staged_counts[event.endpoint] = (
+            self._staged_counts.get(event.endpoint, 0) + cores
+        )
+
+    def _on_task_placed(self, event: TaskPlaced) -> None:
+        # A (re-)placement supersedes any staged-queue position the task
+        # still holds; the stale queue entry itself is popped lazily.
+        self._forget(event.task_id)
+
+    def _forget(self, task_id: str) -> None:
+        entry = self._staged_entries.pop(task_id, None)
+        if entry is None:
+            return
+        endpoint, cores = entry
+        remaining = self._staged_counts.get(endpoint, 0) - cores
+        if remaining > 0:
+            self._staged_counts[endpoint] = remaining
+        else:
+            self._staged_counts.pop(endpoint, None)
 
     # ------------------------------------------------------------------ pump
-    def dispatch_staged(self, force: bool = False) -> bool:
-        """Dispatch queue heads the scheduler clears; True when any left."""
+    def dispatch_staged(
+        self, force: bool = False, budget: Optional[Mapping[str, int]] = None
+    ) -> bool:
+        """Dispatch queue heads the scheduler clears; True when any left.
+
+        ``budget`` (multi-workflow serving) bounds how many workers' worth of
+        tasks may leave per endpoint this round — the arbitration policy's
+        per-tenant slice of the federation's free capacity.  Endpoints absent
+        from the budget get nothing; ``None`` (single-workflow) is unbounded.
+        """
         engine = self._engine
         dispatched_any = False
         for endpoint, queue in self._staged_queues.items():
+            allowance = None if budget is None else budget.get(endpoint, 0)
             while queue:
                 task_id = queue[0]
                 if task_id not in engine.graph:
                     queue.popleft()
+                    self._forget(task_id)
                     continue
                 task = engine.graph.get(task_id)
                 if task.state != TaskState.STAGED or task.assigned_endpoint != endpoint:
                     # Task was re-scheduled elsewhere or already handled.
                     queue.popleft()
+                    if self._staged_entries.get(task_id, (None,))[0] == endpoint:
+                        self._forget(task_id)
                     continue
+                if allowance is not None and allowance < task.cores:
+                    break
                 if not force and not engine.scheduler.should_dispatch(task):
                     break
                 queue.popleft()
+                self._forget(task_id)
                 self.dispatch(task)
+                if allowance is not None:
+                    allowance -= task.cores
                 dispatched_any = True
         return dispatched_any
+
+    def staged_demand(self) -> Dict[str, int]:
+        """Workers' worth of dispatchable staged tasks per endpoint.
+
+        What this workflow would dispatch right now given unlimited budget —
+        the demand the serving layer's arbitration policy allocates against.
+        Maintained incrementally (O(endpoints) per query); superseded queue
+        positions leave the counts the moment their task is re-placed.
+        """
+        return {ep: cores for ep, cores in self._staged_counts.items() if cores > 0}
 
     def dispatch(self, task: Task) -> None:
         engine = self._engine

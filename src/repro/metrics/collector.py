@@ -16,11 +16,18 @@ Everything the paper's evaluation plots or tabulates is gathered here:
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["LatencyBreakdown", "MetricsCollector", "TimeSeries", "WorkflowSummary"]
+__all__ = [
+    "LatencyBreakdown",
+    "MetricsCollector",
+    "TimeSeries",
+    "WorkflowSummary",
+    "percentile",
+]
 
 
 @dataclass
@@ -95,6 +102,13 @@ class WorkflowSummary:
     #: Data-plane counters (bytes moved, cache hit rate, evictions, prefetch
     #: usefulness); empty when the subsystem is disabled.
     dataplane: Dict[str, float] = field(default_factory=dict)
+    #: Owner / tenant label when the workflow ran under the multi-workflow
+    #: serving layer ("" on the single-workflow path).
+    tenant: str = ""
+    #: Mean and p95 of per-task ready-to-start wait (the quantity the serving
+    #: layer's cross-tenant arbitration trades between workflows).
+    wait_time_mean_s: float = 0.0
+    wait_time_p95_s: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -108,6 +122,9 @@ class WorkflowSummary:
             "scheduler_overhead_per_task_s": self.scheduler_overhead_per_task_s,
             "tasks_per_endpoint": dict(self.tasks_per_endpoint),
             "dataplane": dict(self.dataplane),
+            "tenant": self.tenant,
+            "wait_time_mean_s": self.wait_time_mean_s,
+            "wait_time_p95_s": self.wait_time_p95_s,
         }
 
 
@@ -149,6 +166,11 @@ class MetricsCollector:
         # Data-plane counters, pushed by the engine at workflow completion.
         self.dataplane_stats: Dict[str, float] = {}
 
+        # Per-task ready-to-start waits, pushed by the engine at completion.
+        self.wait_times: List[float] = []
+        #: Owner label under the multi-workflow serving layer.
+        self.tenant = ""
+
     # ----------------------------------------------------------------- events
     def workflow_started(self, now: float) -> None:
         self.started_at = now
@@ -178,6 +200,10 @@ class MetricsCollector:
         """Install the data plane's counter snapshot (bytes moved, cache hit
         rate, evictions, prefetch usefulness) for the workflow summary."""
         self.dataplane_stats = dict(stats)
+
+    def set_wait_times(self, waits: List[float]) -> None:
+        """Install the per-task ready-to-start waits for the summary."""
+        self.wait_times = list(waits)
 
     # --------------------------------------------------------------- sampling
     def sample(
@@ -217,6 +243,14 @@ class MetricsCollector:
             return 0.0
         return self.scheduling_cpu_s / self.scheduled_decisions
 
+    def wait_time_mean_s(self) -> float:
+        if not self.wait_times:
+            return 0.0
+        return sum(self.wait_times) / len(self.wait_times)
+
+    def wait_time_p95_s(self) -> float:
+        return percentile(self.wait_times, 0.95)
+
     def summary(self, transfer_volume_mb: float = 0.0) -> WorkflowSummary:
         return WorkflowSummary(
             makespan_s=self.makespan_s,
@@ -229,4 +263,16 @@ class MetricsCollector:
             scheduler_overhead_per_task_s=self.scheduler_overhead_per_task_s(),
             tasks_per_endpoint=dict(self.tasks_completed_by_endpoint),
             dataplane=dict(self.dataplane_stats),
+            tenant=self.tenant,
+            wait_time_mean_s=self.wait_time_mean_s(),
+            wait_time_p95_s=self.wait_time_p95_s(),
         )
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return float(ordered[min(rank, len(ordered)) - 1])

@@ -38,13 +38,23 @@ def _bench_filename(scenario_id: str) -> str:
     return f"BENCH_{scenario_id}.json"
 
 
-def _effective_id(name: str, scheduler: Optional[str], dynamics: Optional[str]) -> str:
+def _effective_id(
+    name: str,
+    scheduler: Optional[str],
+    dynamics: Optional[str],
+    workflows: Optional[int] = None,
+    arbitration: Optional[str] = None,
+) -> str:
     """Artifact id: the preset name, suffixed by any overrides applied."""
     parts = [name]
     if scheduler is not None:
         parts.append(scheduler.lower())
     if dynamics is not None:
         parts.append(dynamics.lower())
+    if workflows is not None:
+        parts.append(f"{workflows}wf")
+    if arbitration is not None:
+        parts.append(arbitration.lower().replace("_", ""))
     return "-".join(parts)
 
 
@@ -68,6 +78,16 @@ def _print_result(result: ScenarioResult, path: Optional[Path] = None) -> None:
     print(f"mean utilization    : {result.mean_utilization_pct:.1f}%")
     print(f"dynamics fired      : {len(result.dynamics_fired)} "
           f"(crashes: {result.endpoint_crashes})")
+    if result.serving:
+        serving = result.serving
+        print(f"serving             : {serving['workflow_count']} workflows, "
+              f"{serving['policy']} arbitration, "
+              f"Jain fairness {serving['jain_fairness']:.3f}, "
+              f"p95 tenant wait {serving['wait_p95_s']:.1f} s")
+        for wid, wf in serving["workflows"].items():
+            print(f"  {wid:<6} owner={wf['owner']:<10} arrival={wf['arrival_s']:>6.1f}s "
+                  f"makespan={wf['makespan_s']:>7.1f}s wait={wf['wait_mean_s']:>6.1f}s "
+                  f"done={wf['completed_tasks']}")
     print(f"determinism digest  : {result.determinism_digest[:16]}…")
     if path is not None:
         print(f"artifact            : {path}")
@@ -92,21 +112,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         vectorized=False if args.no_vector else None,
         dataplane=False if args.no_dataplane else None,
+        workflows=args.workflows,
+        arbitration=args.arbitration,
+        workflow_stagger_s=args.stagger,
     )
     result = run_scenario(preset, max_wall_time_s=args.max_wall_time)
-    scenario_id = _effective_id(args.name, args.scheduler, args.dynamics)
+    scenario_id = _effective_id(
+        args.name, args.scheduler, args.dynamics, args.workflows, args.arbitration
+    )
     path = _write_bench(result, Path(args.out), scenario_id)
     _print_result(result, path)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    preset = get_scenario(args.name)
+    preset = resolve_dynamics(args.dynamics, preset)
+    if args.arbitrations is not None:
+        return _compare_arbitrations(args, preset)
     schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
     if not schedulers:
         print("error: --schedulers needs at least one name", file=sys.stderr)
         return 2
-    preset = get_scenario(args.name)
-    preset = resolve_dynamics(args.dynamics, preset)
     results: List[ScenarioResult] = []
     for scheduler in schedulers:
         spec = preset.with_overrides(
@@ -114,9 +141,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
             vectorized=False if args.no_vector else None,
             dataplane=False if args.no_dataplane else None,
+            workflows=args.workflows,
         )
         result = run_scenario(spec, max_wall_time_s=args.max_wall_time)
-        scenario_id = _effective_id(args.name, scheduler, args.dynamics)
+        scenario_id = _effective_id(args.name, scheduler, args.dynamics, args.workflows)
         _write_bench(result, Path(args.out), scenario_id)
         results.append(result)
 
@@ -131,6 +159,50 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"{result.scheduler:<12} {result.makespan_s:>9.1f}s {result.staged_mb:>10.1f} "
             f"{result.retries:>8} {result.rescheduled_tasks:>8} "
             f"{result.mean_utilization_pct:>7.1f} {result.failed_tasks:>7}{marker}"
+        )
+    return 0
+
+
+def _compare_arbitrations(args: argparse.Namespace, preset) -> int:
+    """``compare NAME --arbitrations fifo,fair_share`` — policy face-off."""
+    policies = [p.strip() for p in args.arbitrations.split(",") if p.strip()]
+    if not policies:
+        print("error: --arbitrations needs at least one policy", file=sys.stderr)
+        return 2
+    if (args.workflows or preset.workflows) < 2:
+        print("error: comparing arbitration policies needs --workflows >= 2 "
+              "(or a multi-workflow preset)", file=sys.stderr)
+        return 2
+    results: List[ScenarioResult] = []
+    for policy in policies:
+        spec = preset.with_overrides(
+            scheduler=args.scheduler if hasattr(args, "scheduler") else None,
+            seed=args.seed,
+            vectorized=False if args.no_vector else None,
+            dataplane=False if args.no_dataplane else None,
+            workflows=args.workflows,
+            arbitration=policy,
+        )
+        result = run_scenario(spec, max_wall_time_s=args.max_wall_time)
+        scenario_id = _effective_id(
+            args.name, None, args.dynamics, args.workflows, policy
+        )
+        _write_bench(result, Path(args.out), scenario_id)
+        results.append(result)
+
+    print(f"scenario: {args.name}   seed: {results[0].seed}   "
+          f"workflows: {results[0].serving['workflow_count']}")
+    header = f"{'ARBITRATION':<12} {'MAKESPAN':>10} {'P95 WAIT':>10} {'JAIN':>7} " \
+             f"{'STAGED MB':>10} {'FAILED':>7}"
+    print(header)
+    best = min(r.serving["wait_p95_s"] for r in results)
+    for result in results:
+        serving = result.serving
+        marker = " *" if serving["wait_p95_s"] == best else ""
+        print(
+            f"{serving['policy']:<12} {result.makespan_s:>9.1f}s "
+            f"{serving['wait_p95_s']:>9.1f}s {serving['jain_fairness']:>7.3f} "
+            f"{result.staged_mb:>10.1f} {result.failed_tasks:>7}{marker}"
         )
     return 0
 
@@ -163,6 +235,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stage through the paper's FIFO data manager instead of the "
                           "data-plane subsystem (replica store / transfer scheduler / "
                           "prefetcher); event digests match the pre-data-plane engine")
+    run.add_argument("--workflows", type=int, default=None,
+                     help="run N concurrent instances of the workload through the "
+                          "multi-workflow serving layer (default: the preset's count)")
+    run.add_argument("--arbitration", choices=["fifo", "fair_share", "priority"],
+                     default=None,
+                     help="cross-workflow arbitration policy (multi-workflow runs)")
+    run.add_argument("--stagger", type=float, default=None,
+                     help="arrival stagger between consecutive workflows (sim seconds)")
     run.add_argument("--out", default=".", help="directory for BENCH_<id>.json (default: cwd)")
     run.add_argument("--max-wall-time", type=float, default=600.0,
                      help="wall-clock budget for the run (seconds)")
@@ -179,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the scalar reference schedulers")
     compare.add_argument("--no-dataplane", action="store_true",
                          help="stage through the paper's FIFO data manager")
+    compare.add_argument("--workflows", type=int, default=None,
+                         help="run N concurrent workload instances per run")
+    compare.add_argument("--arbitrations", default=None,
+                         help="comma-separated arbitration policies to compare "
+                              "(e.g. fifo,fair_share,priority) instead of schedulers; "
+                              "needs a multi-workflow preset or --workflows >= 2")
     compare.add_argument("--out", default=".", help="directory for BENCH artifacts")
     compare.add_argument("--max-wall-time", type=float, default=600.0,
                          help="wall-clock budget per run (seconds)")

@@ -249,6 +249,38 @@ def _build_registry() -> Dict[str, ScenarioSpec]:
                 ),
             ),
         ),
+        # ------------------------------------------------ serving regimes
+        ScenarioSpec(
+            name="multi-tenant",
+            description="Four tenants' layered DAGs share the trio federation: "
+                        "fair-share arbitration (one heavyweight owner), arrivals "
+                        "staggered through the dynamics-style kernel timeline",
+            workload=WorkloadSpec(kind="layered", task_count=80, duration_s=3.0,
+                                  output_mb=2.0, layer_width=16),
+            topology=_TRIO,
+            scheduler="DHA",
+            workflows=4,
+            arbitration="fair_share",
+            workflow_stagger_s=10.0,
+            tenant_weights=(2.0, 1.0, 1.0, 1.0),
+        ),
+        ScenarioSpec(
+            name="tenant-storm",
+            description="Eight tenants slam a two-site federation under stochastic "
+                        "worker churn; strict-priority arbitration drains the "
+                        "earliest (highest-priority) owners first",
+            workload=WorkloadSpec(kind="stress", task_count=60, duration_s=3.0,
+                                  output_mb=1.0),
+            topology=(
+                EndpointSpec(name="site_a", cluster="qiming", workers=12, max_workers=24),
+                EndpointSpec(name="site_b", cluster="lab", workers=8, max_workers=16),
+            ),
+            scheduler="DHA",
+            workflows=8,
+            arbitration="priority",
+            workflow_stagger_s=5.0,
+            dynamics=standard_dynamics("churn"),
+        ),
         # --------------------------------------------------- CI workhorse
         ScenarioSpec(
             name="ci-smoke",

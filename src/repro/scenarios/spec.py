@@ -278,6 +278,17 @@ class ScenarioSpec:
     #: ``bandwidth_mbps``, every link touching the remaining edge endpoints
     #: runs at a fifth of it).
     network_profile: str = "uniform"
+    #: Number of concurrent tenant workflows (1 = the classic single-workflow
+    #: path; > 1 runs the multi-workflow serving layer, each workflow an
+    #: instance of ``workload`` on the shared federation).
+    workflows: int = 1
+    #: Cross-workflow arbitration policy: "fifo", "fair_share" or "priority".
+    arbitration: str = "fair_share"
+    #: Arrival stagger between consecutive workflows (simulated seconds);
+    #: arrivals are scheduled on the kernel like dynamics timeline events.
+    workflow_stagger_s: float = 0.0
+    #: Fair-share weights per workflow (padded with 1.0; empty = all equal).
+    tenant_weights: Tuple[float, ...] = ()
 
     def with_overrides(
         self,
@@ -288,6 +299,9 @@ class ScenarioSpec:
         scale: Optional[float] = None,
         vectorized: Optional[bool] = None,
         dataplane: Optional[bool] = None,
+        workflows: Optional[int] = None,
+        arbitration: Optional[str] = None,
+        workflow_stagger_s: Optional[float] = None,
     ) -> "ScenarioSpec":
         """A copy with CLI-level overrides applied."""
         spec = self
@@ -295,6 +309,14 @@ class ScenarioSpec:
             spec = dataclasses.replace(spec, vectorized=vectorized)
         if dataplane is not None:
             spec = dataclasses.replace(spec, enable_dataplane=dataplane)
+        if workflows is not None:
+            if workflows < 1:
+                raise ValueError("--workflows must be >= 1")
+            spec = dataclasses.replace(spec, workflows=workflows)
+        if arbitration is not None:
+            spec = dataclasses.replace(spec, arbitration=arbitration)
+        if workflow_stagger_s is not None:
+            spec = dataclasses.replace(spec, workflow_stagger_s=workflow_stagger_s)
         if scheduler is not None:
             canonical = SCHEDULER_ALIASES.get(scheduler.lower())
             if canonical is None:
@@ -339,6 +361,9 @@ class ScenarioResult:
     endpoint_crashes: int = 0
     #: Data-plane counters (empty when the subsystem is disabled).
     dataplane: Dict[str, object] = field(default_factory=dict)
+    #: Multi-workflow serving report (empty on the single-workflow path):
+    #: arbitration policy, fairness, and per-tenant makespan / wait / digest.
+    serving: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> str:
         """Canonical, byte-stable JSON payload (sorted keys, fixed floats)."""
@@ -367,6 +392,10 @@ class ScenarioResult:
             "dataplane": {k: self.dataplane[k] for k in sorted(self.dataplane)},
             "determinism_digest": self.determinism_digest,
         }
+        if self.serving:
+            # Only multi-workflow runs carry the key, so single-workflow
+            # artifacts stay byte-identical to earlier releases.
+            payload["serving"] = self.serving
         return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
 
 
@@ -386,8 +415,39 @@ def run_scenario(
     seed: Optional[int] = None,
     max_wall_time_s: float = 600.0,
 ) -> ScenarioResult:
-    """Execute ``spec`` and return its deterministic result record."""
+    """Execute ``spec`` and return its deterministic result record.
+
+    ``spec.workflows > 1`` runs N instances of the workload concurrently
+    through the multi-workflow serving layer; 1 keeps the classic
+    single-workflow path byte-identically.
+    """
     seed = spec.seed if seed is None else seed
+    env, config = _build_environment(spec, seed)
+    if spec.workflows > 1:
+        return _run_serving_scenario(spec, seed, env, config, max_wall_time_s)
+
+    client = env.make_client(config)
+    if spec.seed_knowledge:
+        env.seed_full_knowledge(client)
+        env.seed_execution_knowledge(client, spec.workload.task_types())
+
+    recorder = _EventLogRecorder()
+    client.bus.subscribe_all(recorder)
+
+    timeline = spec.dynamics.compile(
+        [e.name for e in spec.topology], env.rng.stream("dynamics")
+    )
+    injector = DynamicsInjector(env, client.engine)
+    injector.install(timeline)
+
+    info = spec.workload.build(client)
+    client.run(max_wall_time_s=max_wall_time_s)
+
+    return _collect_result(spec, seed, client, info, timeline, injector, recorder)
+
+
+def _build_environment(spec: ScenarioSpec, seed: int):
+    """The simulated federation + config shared by both run paths."""
     setups = [endpoint.to_setup() for endpoint in spec.topology]
     names = [s.name for s in setups]
     if spec.network_profile == "tiered":
@@ -429,22 +489,135 @@ def run_scenario(
         rescheduling_interval_s=spec.rescheduling_interval_s,
         random_seed=seed,
     )
-    client = env.make_client(config)
+    return env, config
+
+
+def _run_serving_scenario(
+    spec: ScenarioSpec,
+    seed: int,
+    env: SimulationEnvironment,
+    config,
+    max_wall_time_s: float,
+) -> ScenarioResult:
+    """N instances of the workload through the multi-workflow serving layer."""
+    from repro.serving import WorkflowManager
+
+    manager = WorkflowManager(
+        config,
+        env.fabric,
+        transfer_backend=env.transfer_backend,
+        arbitration=spec.arbitration,
+    )
     if spec.seed_knowledge:
-        env.seed_full_knowledge(client)
-        env.seed_execution_knowledge(client, spec.workload.task_types())
+        env.seed_full_knowledge(manager)
+        env.seed_execution_knowledge(manager, spec.workload.task_types())
 
-    recorder = _EventLogRecorder()
-    client.bus.subscribe_all(recorder)
+    recorders: Dict[str, _EventLogRecorder] = {}
+    infos: Dict[str, WorkloadInfo] = {}
 
-    timeline = spec.dynamics.compile(names, env.rng.stream("dynamics"))
-    injector = DynamicsInjector(env, client.engine)
+    def make_builder(wid: str):
+        def build(handle) -> None:
+            infos[wid] = spec.workload.build(handle)
+
+        return build
+
+    for index in range(spec.workflows):
+        wid = f"wf{index}"
+        weight = (
+            spec.tenant_weights[index] if index < len(spec.tenant_weights) else 1.0
+        )
+        handle = manager.add_workflow(
+            wid,
+            owner=f"tenant-{index}",
+            weight=weight,
+            # Earlier arrivals outrank later ones under strict priority.
+            priority=spec.workflows - index,
+            arrival_s=index * spec.workflow_stagger_s,
+            builder=make_builder(wid),
+        )
+        recorder = _EventLogRecorder()
+        handle.bus.subscribe_all(recorder)
+        recorders[wid] = recorder
+
+    timeline = spec.dynamics.compile(
+        [e.name for e in spec.topology], env.rng.stream("dynamics")
+    )
+    injector = DynamicsInjector(env, manager)
     injector.install(timeline)
 
-    info = spec.workload.build(client)
-    client.run(max_wall_time_s=max_wall_time_s)
+    manager.run(max_wall_time_s=max_wall_time_s)
+    serving = manager.summary()
 
-    return _collect_result(spec, seed, client, info, timeline, injector, recorder)
+    digest = hashlib.sha256()
+    digest.update(repr([e.as_dict() for e in timeline]).encode())
+    workflow_payload: Dict[str, object] = {}
+    retries = 0
+    crashes = sum(
+        getattr(env.fabric.endpoint(name), "crash_count", 0)
+        for name in env.fabric.endpoint_names()
+    )
+    tasks_per_endpoint: Dict[str, int] = {}
+    for handle in manager.workflows():
+        wid = handle.workflow_id
+        entries = recorders[wid].entries
+        digest.update(wid.encode())
+        digest.update(repr(entries).encode())
+        wf_digest = hashlib.sha256(repr(entries).encode()).hexdigest()
+        summary = serving.workflows[wid]
+        for task in handle.graph:
+            if task.attempts > 1:
+                retries += task.attempts - 1
+        for endpoint, count in summary.tasks_per_endpoint.items():
+            tasks_per_endpoint[endpoint] = tasks_per_endpoint.get(endpoint, 0) + count
+        workflow_payload[wid] = {
+            "owner": summary.tenant,
+            "weight": round(handle.weight, 6),
+            "arrival_s": round(handle.arrival_s, 6),
+            "makespan_s": round(summary.makespan_s, 6),
+            "wait_mean_s": round(summary.wait_time_mean_s, 6),
+            "wait_p95_s": round(summary.wait_time_p95_s, 6),
+            "staged_mb": round(summary.transfer_volume_gb * 1024.0, 6),
+            "completed_tasks": summary.completed_tasks,
+            "failed_tasks": summary.failed_tasks,
+            "event_digest": wf_digest,
+        }
+
+    per_wf_summaries = list(serving.workflows.values())
+    utilization = (
+        sum(s.mean_worker_utilization for s in per_wf_summaries) / len(per_wf_summaries)
+        if per_wf_summaries
+        else 0.0
+    )
+    dataplane_stats: Dict[str, object] = {}
+    if hasattr(manager.data_manager, "stats_dict"):
+        dataplane_stats = manager.data_manager.stats_dict()
+
+    return ScenarioResult(
+        scenario=spec.name,
+        scheduler=spec.scheduler,
+        seed=seed,
+        makespan_s=serving.makespan_s,
+        total_tasks=sum(info.task_count for info in infos.values()),
+        completed_tasks=serving.completed_tasks,
+        failed_tasks=serving.failed_tasks,
+        staged_mb=manager.data_manager.total_transferred_mb,
+        retries=retries,
+        rescheduled_tasks=sum(s.rescheduled_tasks for s in per_wf_summaries),
+        mean_utilization_pct=utilization,
+        tasks_per_endpoint=tasks_per_endpoint,
+        dynamics_fired=[e.as_dict() for e in injector.fired],
+        determinism_digest=digest.hexdigest(),
+        endpoint_crashes=crashes,
+        dataplane=dataplane_stats,
+        serving={
+            "policy": serving.policy,
+            "workflow_count": spec.workflows,
+            "stagger_s": round(spec.workflow_stagger_s, 6),
+            "jain_fairness": round(serving.jain_fairness, 6),
+            "wait_p95_s": round(serving.wait_time_p95_s, 6),
+            "workflows": workflow_payload,
+        },
+    )
 
 
 def _collect_result(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import Config
 from repro.core.dag import Task, TaskGraph
@@ -284,6 +284,10 @@ class Scheduler(ABC):
         #: Bumped on every claim change — part of the re-scheduling pass's
         #: nothing-changed fingerprint.
         self._claims_version = 0
+        #: Cross-workflow capacity slice (multi-tenant serving): an upper
+        #: bound per endpoint on the free capacity this scheduler may treat
+        #: as its own this round.  ``None`` (single-workflow) = unbounded.
+        self._capacity_slice: Optional[Dict[str, int]] = None
 
     # ----------------------------------------------------------------- setup
     def initialize(self, context: SchedulingContext) -> None:
@@ -377,8 +381,34 @@ class Scheduler(ABC):
     def claimed(self, endpoint: str) -> int:
         return self._claims.get(endpoint, 0)
 
+    def set_capacity_slice(self, capacity_slice: Optional[Mapping[str, int]]) -> None:
+        """Bound the free capacity this scheduler may consume per endpoint.
+
+        The multi-workflow serving layer's arbitration policy hands every
+        tenant scheduler a slice of the federation's free capacity each pump
+        round; capacity-limited placement (:meth:`unclaimed_free_capacity`,
+        which Locality-style scheduling and DHA's re-scheduling read) then
+        stays inside the slice.  ``None`` restores the single-workflow
+        behaviour (the whole mocked free capacity is available).
+        """
+        normalized = dict(capacity_slice) if capacity_slice is not None else None
+        if normalized != self._capacity_slice:
+            self._capacity_slice = normalized
+            # The slice is part of what a re-scheduling pass may consume, so
+            # an identical pass under a different slice is not a proven no-op.
+            self._claims_version += 1
+
+    def capacity_slice_for(self, endpoint: str) -> Optional[int]:
+        """The current slice bound for ``endpoint`` (None = unbounded)."""
+        if self._capacity_slice is None:
+            return None
+        return max(0, self._capacity_slice.get(endpoint, 0))
+
     def unclaimed_free_capacity(self, endpoint: str) -> int:
-        """Mocked free workers minus placements not yet dispatched."""
+        """Mocked free workers minus placements not yet dispatched,
+        bounded by the serving layer's capacity slice when one is set."""
         context = self._require_context()
         free = context.endpoint_monitor.free_capacity(endpoint)
-        return max(0, free - self.claimed(endpoint))
+        free = max(0, free - self.claimed(endpoint))
+        bound = self.capacity_slice_for(endpoint)
+        return free if bound is None else min(free, bound)

@@ -450,6 +450,14 @@ class DHAScheduler(Scheduler):
         # Snapshot at pass start, decremented per move — exactly the scalar
         # pass's ``spare`` dict (claims released mid-pass do not re-open it).
         spare = np.maximum(free - vectors.claimed, 0)
+        if self._capacity_slice is not None:
+            # Serving-layer slice: the scalar pass reads it through
+            # unclaimed_free_capacity; clip the vectorized snapshot the same.
+            bounds = np.array(
+                [self.capacity_slice_for(name) for name in arrays.endpoint_names],
+                dtype=spare.dtype,
+            )
+            spare = np.minimum(spare, bounds)
         if not (spare > 0).any():
             return []
         exec_matrix = arrays.exec_matrix

@@ -40,10 +40,10 @@ class LocalityScheduler(Scheduler):
         snapshot = monitor.mocking_enabled
 
         def free_map() -> dict:
-            return {
-                name: max(0, monitor.free_capacity(name) - self.claimed(name))
-                for name in names
-            }
+            # unclaimed_free_capacity = free - claims, additionally bounded
+            # by the serving layer's cross-workflow capacity slice (a no-op
+            # on the single-workflow path, where no slice is set).
+            return {name: self.unclaimed_free_capacity(name) for name in names}
 
         unclaimed = free_map()
         # Level/arrival order: the engine hands tasks in ready order already.

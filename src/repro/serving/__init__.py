@@ -1,0 +1,39 @@
+"""Multi-workflow serving: N tenant workflows over one shared federation.
+
+:class:`~repro.serving.manager.WorkflowManager` shares the simulation
+kernel, fabric, endpoint monitor, profilers and data plane between
+workflows while keeping graphs, schedulers, metrics and event buses per
+workflow; an :class:`~repro.serving.arbitration.ArbitrationPolicy` (FIFO,
+weighted fair-share, strict-priority) splits free capacity between tenants
+every pump round.
+"""
+
+from repro.serving.arbitration import (
+    ARBITRATION_POLICIES,
+    ArbitrationPolicy,
+    FairShareArbitration,
+    FifoArbitration,
+    StrictPriorityArbitration,
+    TenantShare,
+    create_arbitration,
+)
+from repro.serving.manager import (
+    ServingSummary,
+    WorkflowHandle,
+    WorkflowManager,
+    jain_index,
+)
+
+__all__ = [
+    "ARBITRATION_POLICIES",
+    "ArbitrationPolicy",
+    "FairShareArbitration",
+    "FifoArbitration",
+    "ServingSummary",
+    "StrictPriorityArbitration",
+    "TenantShare",
+    "WorkflowHandle",
+    "WorkflowManager",
+    "create_arbitration",
+    "jain_index",
+]

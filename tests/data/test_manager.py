@@ -184,6 +184,34 @@ class TestRetries:
         assert survivor.transferred_mb == pytest.approx(2000.0)
         assert manager.total_transferred_mb == pytest.approx(2000.0)
 
+    def test_retry_repicks_source_off_a_dead_link(self):
+        # Regression: the retry path used to re-append the failed transfer to
+        # the same (src, dst) queue, burning every retry into a dead link
+        # even when a live replica existed elsewhere.
+        from repro.sim.network import LinkSpec
+
+        kernel, net, manager = build_manager(max_retries=2)
+        # a->b is nominally fast (so the first pick chooses it) but dead.
+        net.set_link("a", "b", LinkSpec(bandwidth_mbps=1000.0, jitter=0.0, failure_rate=1.0))
+        net.set_link("c", "b", LinkSpec(bandwidth_mbps=50.0, jitter=0.0))
+        file = file_at("x", 100.0, "a")
+        file.add_location("c")
+        ticket = manager.stage("t1", [file], "b")
+        kernel.run()
+        assert ticket.done and not ticket.failed
+        assert manager.retry_count >= 1
+        assert manager.volume_by_pair_mb[("c", "b")] == pytest.approx(100.0)
+        assert manager.volume_by_pair_mb[("a", "b")] == 0.0
+
+    def test_retry_keeps_sole_replica_source(self):
+        # With a single replica there is nothing to re-pick: the retry stays
+        # on the same pair and still exhausts the ladder as before.
+        kernel, _, manager = build_manager(failure_rate=1.0, max_retries=2)
+        ticket = manager.stage("t1", [file_at("x", 10.0, "a")], "b")
+        kernel.run()
+        assert ticket.failed
+        assert manager.transfer_count == 3
+
     def test_ticket_fails_after_exhausting_retries(self):
         kernel, _, manager = build_manager(failure_rate=1.0, max_retries=2)
         staged = []
@@ -195,6 +223,53 @@ class TestRetries:
         # 1 initial attempt + 2 retries.
         assert manager.transfer_count == 3
         assert manager.total_transferred_mb == 0.0
+
+
+class TestSupersededTickets:
+    def test_replaced_ticket_never_fires_stale_staged_callback(self):
+        # Regression: stage() silently overwrote _tickets_by_task, but the
+        # superseded ticket still notified on completion — the staging
+        # coordinator could observe a "staged" event for a destination the
+        # task had already left.
+        kernel, _, manager = build_manager()
+        staged = []
+        manager.add_staged_callback(staged.append)
+        file = file_at("x", 500.0, "a")
+        old = manager.stage("t1", [file], "b")
+        assert not old.done
+        new = manager.stage("t1", [file], "c")  # re-placement mid-staging
+        assert old.superseded
+        assert manager.ticket_for_task("t1") is new
+        kernel.run()
+        # Only the authoritative ticket notified; the superseded one stayed
+        # silent and accrued no volume even though its transfer landed.
+        assert staged == [new]
+        assert old.transferred_mb == 0.0
+        assert new.transferred_mb == pytest.approx(500.0)
+        assert manager.active_staging_tasks() == 0
+
+    def test_superseded_ticket_not_failed_by_exhausted_sibling(self):
+        kernel, _, manager = build_manager(failure_rate=1.0, max_retries=0)
+        staged = []
+        manager.add_staged_callback(staged.append)
+        file = file_at("x", 10.0, "a")
+        old = manager.stage("t1", [file], "b")
+        new = manager.stage("t1", [file], "b")
+        kernel.run()
+        # The doomed transfer fails the authoritative ticket only.
+        assert new.failed and staged == [new]
+        assert old.superseded and not old.failed
+
+    def test_namespace_volume_attribution(self):
+        kernel, _, manager = build_manager()
+        manager.stage("wf0/task-1", [file_at("x", 60.0, "a")], "b")
+        manager.stage("wf1/task-1", [file_at("y", 40.0, "a")], "b")
+        manager.stage("t-plain", [file_at("z", 10.0, "a")], "c")
+        kernel.run()
+        assert manager.volume_by_namespace_mb["wf0"] == pytest.approx(60.0)
+        assert manager.volume_by_namespace_mb["wf1"] == pytest.approx(40.0)
+        assert manager.volume_by_namespace_mb[""] == pytest.approx(10.0)
+        assert manager.total_transferred_mb == pytest.approx(110.0)
 
 
 class TestValidation:

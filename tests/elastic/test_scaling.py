@@ -6,6 +6,7 @@ from repro.elastic.scaling import (
     EndpointView,
     NoScalingStrategy,
     ScalingDecision,
+    largest_remainder_split,
 )
 
 
@@ -37,13 +38,50 @@ class TestDefaultStrategy:
             },
         )
         assert set(decision.workers_to_request) == {"a", "b"}
-        assert decision.workers_to_request["a"] == 35  # shortfall bounded by headroom
-        assert decision.workers_to_request["b"] == 15
+        # Shortfall 35 split proportionally to headroom (90 vs 15).
+        assert decision.workers_to_request["a"] == 30
+        assert decision.workers_to_request["b"] == 5
+        assert decision.total() == 35
+
+    def test_total_request_equals_shortfall(self):
+        # Regression: the split used to hand every endpoint
+        # min(headroom, shortfall), requesting up to N x the shortfall.
+        strategy = DefaultScalingStrategy()
+        decision = strategy.decide(
+            40,
+            {
+                "a": view("a", active=10, max_workers=100),
+                "b": view("b", active=10, max_workers=100),
+                "c": view("c", active=10, max_workers=100),
+            },
+        )
+        assert decision.total() == 10  # the shortfall, not 3 x 10
+        # Equal headrooms: largest-remainder rounding spreads the remainder
+        # deterministically (4/3/3 by name order).
+        assert decision.workers_to_request == {"a": 4, "b": 3, "c": 3}
+
+    def test_shortfall_beyond_headroom_saturates_every_endpoint(self):
+        strategy = DefaultScalingStrategy()
+        decision = strategy.decide(
+            1000,
+            {
+                "a": view("a", active=10, max_workers=40),
+                "b": view("b", active=5, max_workers=20),
+            },
+        )
+        assert decision.workers_to_request == {"a": 30, "b": 15}
 
     def test_caps_limit_requests(self):
         strategy = DefaultScalingStrategy(caps={"a": 12})
         decision = strategy.decide(100, {"a": view("a", active=10, max_workers=1000)})
         assert decision.workers_to_request["a"] == 2
+
+    def test_caps_override_endpoint_maximum_upward(self):
+        # Regression: ``caps`` is documented as overriding the endpoint's own
+        # maximum, but the old min(cap, max_workers) could only lower it.
+        strategy = DefaultScalingStrategy(caps={"a": 50})
+        decision = strategy.decide(100, {"a": view("a", active=10, max_workers=20)})
+        assert decision.workers_to_request["a"] == 40
 
     def test_no_request_when_everything_at_cap(self):
         strategy = DefaultScalingStrategy()
@@ -61,6 +99,31 @@ class TestDefaultStrategy:
         )
         assert "full" not in decision.workers_to_request
         assert decision.workers_to_request["roomy"] == 20
+
+
+class TestLargestRemainderSplit:
+    def test_proportional_with_deterministic_remainders(self):
+        split = largest_remainder_split(10, {"a": 1.0, "b": 1.0, "c": 1.0})
+        assert split == {"a": 4, "b": 3, "c": 3}
+        assert sum(split.values()) == 10
+
+    def test_caps_spill_to_uncapped_keys(self):
+        split = largest_remainder_split(
+            10, {"a": 5.0, "b": 5.0}, caps={"a": 2, "b": 100}
+        )
+        assert split == {"a": 2, "b": 8}
+
+    def test_zero_weight_and_zero_total(self):
+        assert largest_remainder_split(0, {"a": 1.0}) == {"a": 0}
+        assert largest_remainder_split(5, {"a": 0.0, "b": 2.0}) == {"a": 0, "b": 5}
+
+    def test_tiebreak_orders_equal_remainders(self):
+        # Equal weights, one leftover unit: the tiebreak value decides who
+        # gets it (the serving layer passes cumulative-service deficits).
+        split = largest_remainder_split(
+            3, {"a": 1.0, "b": 1.0}, tiebreak={"a": 5.0, "b": 1.0}
+        )
+        assert split == {"a": 1, "b": 2}
 
 
 class TestNoScaling:

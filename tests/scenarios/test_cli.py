@@ -49,6 +49,19 @@ class TestRunScenario:
         assert main(["run-scenario", "nope"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_workflows_override_runs_serving_layer(self, tmp_path, capsys):
+        assert main([
+            "run-scenario", "ci-smoke", "--workflows", "2",
+            "--arbitration", "fair_share", "--out", str(tmp_path),
+        ]) == 0
+        artifact = tmp_path / "BENCH_ci-smoke-2wf-fairshare.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["serving"]["workflow_count"] == 2
+        assert payload["serving"]["policy"] == "fair_share"
+        assert payload["metrics"]["completed_tasks"] == payload["metrics"]["total_tasks"]
+        assert "serving" in capsys.readouterr().out
+
 
 class TestCompare:
     def test_compare_writes_one_artifact_per_scheduler(self, tmp_path, capsys):
@@ -61,3 +74,17 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "SCHEDULER" in out
         assert "DHA" in out and "LOCALITY" in out
+
+    def test_compare_across_arbitration_policies(self, tmp_path, capsys):
+        assert main([
+            "compare", "ci-smoke", "--workflows", "2",
+            "--arbitrations", "fifo,fair_share", "--out", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "BENCH_ci-smoke-2wf-fifo.json").exists()
+        assert (tmp_path / "BENCH_ci-smoke-2wf-fairshare.json").exists()
+        out = capsys.readouterr().out
+        assert "ARBITRATION" in out and "JAIN" in out
+
+    def test_compare_arbitrations_requires_multiple_workflows(self, capsys):
+        assert main(["compare", "ci-smoke", "--arbitrations", "fifo"]) == 2
+        assert "--workflows" in capsys.readouterr().err

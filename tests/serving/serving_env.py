@@ -1,0 +1,32 @@
+"""Environment builder shared by the serving-layer tests."""
+
+from repro.experiments.environment import EndpointSetup, build_simulation
+from repro.faas.types import ServiceLatencyModel
+from repro.sim.hardware import testbed_clusters
+from repro.sim.network import NetworkModel
+
+
+def build_env(endpoints=(("a", "qiming", 8), ("b", "lab", 4)), seed=0, bandwidth=100.0):
+    """A small deterministic federation for serving tests."""
+    clusters = testbed_clusters()
+    setups = []
+    for name, cluster, workers in endpoints:
+        spec = clusters[cluster].with_overrides(
+            queue_delay_mean_s=0.0, queue_delay_std_s=0.0
+        )
+        setups.append(
+            EndpointSetup(
+                name=name,
+                cluster=spec,
+                initial_workers=workers,
+                max_workers=workers * 2,
+                auto_scale=False,
+                duration_jitter=0.0,
+                execution_overhead_s=0.0,
+            )
+        )
+    names = [s.name for s in setups]
+    network = NetworkModel.uniform(names, bandwidth_mbps=bandwidth, jitter=0.0, seed=seed)
+    return build_simulation(
+        setups, network=network, latency=ServiceLatencyModel(), seed=seed
+    )

@@ -1,0 +1,139 @@
+"""Unit tests for the cross-workflow arbitration policies."""
+
+import pytest
+
+from repro.serving.arbitration import (
+    FairShareArbitration,
+    FifoArbitration,
+    StrictPriorityArbitration,
+    TenantShare,
+    create_arbitration,
+)
+
+
+def tenants(*specs):
+    return [
+        TenantShare(workflow_id=wid, weight=weight, priority=priority, arrival_index=i)
+        for i, (wid, weight, priority) in enumerate(specs)
+    ]
+
+
+class TestFifo:
+    def test_earlier_arrivals_drain_first(self):
+        policy = FifoArbitration()
+        allocation = policy.allocate(
+            {"ep": 5},
+            {"wf0": {"ep": 4}, "wf1": {"ep": 4}},
+            tenants(("wf0", 1.0, 0), ("wf1", 1.0, 0)),
+        )
+        assert allocation["wf0"] == {"ep": 4}
+        assert allocation["wf1"] == {"ep": 1}
+
+    def test_unused_demand_flows_to_later_tenants(self):
+        policy = FifoArbitration()
+        allocation = policy.allocate(
+            {"ep": 6},
+            {"wf0": {"ep": 1}, "wf1": {"ep": 10}},
+            tenants(("wf0", 1.0, 0), ("wf1", 1.0, 0)),
+        )
+        assert allocation["wf0"] == {"ep": 1}
+        assert allocation["wf1"] == {"ep": 5}
+
+
+class TestStrictPriority:
+    def test_priority_preempts_arrival_order(self):
+        policy = StrictPriorityArbitration()
+        allocation = policy.allocate(
+            {"ep": 3},
+            {"wf0": {"ep": 3}, "wf1": {"ep": 3}},
+            tenants(("wf0", 1.0, 1), ("wf1", 1.0, 9)),
+        )
+        assert allocation["wf1"] == {"ep": 3}
+        assert allocation["wf0"] == {}
+
+    def test_equal_priority_falls_back_to_fifo(self):
+        policy = StrictPriorityArbitration()
+        allocation = policy.allocate(
+            {"ep": 3},
+            {"wf0": {"ep": 3}, "wf1": {"ep": 3}},
+            tenants(("wf0", 1.0, 5), ("wf1", 1.0, 5)),
+        )
+        assert allocation["wf0"] == {"ep": 3}
+
+
+class TestFairShare:
+    def test_weighted_proportional_split(self):
+        policy = FairShareArbitration()
+        allocation = policy.allocate(
+            {"ep": 9},
+            {"wf0": {"ep": 9}, "wf1": {"ep": 9}, "wf2": {"ep": 9}},
+            tenants(("wf0", 2.0, 0), ("wf1", 1.0, 0), ("wf2", 1.0, 0)),
+        )
+        # 9 units at weights 2:1:1 with largest-remainder rounding.
+        assert allocation["wf0"] == {"ep": 5}
+        assert allocation["wf1"] == {"ep": 2}
+        assert allocation["wf2"] == {"ep": 2}
+
+    def test_unmet_demand_spills_between_tenants(self):
+        policy = FairShareArbitration()
+        allocation = policy.allocate(
+            {"ep": 8},
+            {"wf0": {"ep": 1}, "wf1": {"ep": 10}},
+            tenants(("wf0", 1.0, 0), ("wf1", 1.0, 0)),
+        )
+        assert allocation["wf0"] == {"ep": 1}
+        assert allocation["wf1"] == {"ep": 7}
+
+    def test_deficit_tiebreak_rotates_single_slots(self):
+        # One free worker per round, two equal tenants: without the
+        # cumulative-service deficit the name sort would starve wf1 forever.
+        policy = FairShareArbitration()
+        grants = {"wf0": 0, "wf1": 0}
+        share = tenants(("wf0", 1.0, 0), ("wf1", 1.0, 0))
+        for _ in range(10):
+            allocation = policy.allocate(
+                {"ep": 1}, {"wf0": {"ep": 5}, "wf1": {"ep": 5}}, share
+            )
+            for wid in grants:
+                grants[wid] += allocation[wid].get("ep", 0)
+        assert grants == {"wf0": 5, "wf1": 5}
+
+    def test_advisory_allocation_does_not_feed_the_deficit(self):
+        # Placement slices are an upper bound the tenant may not consume;
+        # counting them as service would skew the dispatch tie-break.
+        policy = FairShareArbitration()
+        share = tenants(("wf0", 1.0, 0), ("wf1", 1.0, 0))
+        policy.allocate(
+            {"ep": 10}, {"wf0": {"ep": 10}}, share, record_service=False
+        )
+        assert policy._served == {}
+        # With untouched deficits the single real slot resolves by name;
+        # had the advisory grant counted, wf1 would win instead.
+        real = policy.allocate({"ep": 1}, {"wf0": {"ep": 5}, "wf1": {"ep": 5}}, share)
+        assert real["wf0"] == {"ep": 1}
+        assert policy._served == {"wf0": 1}
+
+    def test_never_exceeds_free_or_demand(self):
+        policy = FairShareArbitration()
+        free = {"a": 3, "b": 2}
+        demands = {"wf0": {"a": 2}, "wf1": {"a": 4, "b": 1}}
+        allocation = policy.allocate(
+            free, demands, tenants(("wf0", 1.0, 0), ("wf1", 1.0, 0))
+        )
+        for endpoint in free:
+            assert (
+                sum(allocation[wid].get(endpoint, 0) for wid in allocation)
+                <= free[endpoint]
+            )
+        for wid, per_ep in allocation.items():
+            for endpoint, granted in per_ep.items():
+                assert granted <= demands[wid].get(endpoint, 0)
+
+
+class TestRegistry:
+    def test_create_by_name(self):
+        assert create_arbitration("fifo").name == "fifo"
+        assert create_arbitration("fair_share").name == "fair_share"
+        assert create_arbitration("priority").name == "priority"
+        with pytest.raises(ValueError):
+            create_arbitration("lottery")
