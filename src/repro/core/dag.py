@@ -11,7 +11,6 @@ counters incrementally up to date instead of recomputing them.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
@@ -19,7 +18,7 @@ from repro.core.exceptions import WorkflowError
 from repro.core.functions import FederatedFunction, SimProfile
 from repro.core.futures import UniFuture
 
-__all__ = ["Task", "TaskGraph", "TaskState", "TaskTimestamps"]
+__all__ = ["TIMESTAMP_FIELDS", "Task", "TaskGraph", "TaskState", "TaskTimestamps"]
 
 
 class TaskState(str, Enum):
@@ -53,18 +52,67 @@ IN_FLIGHT_STATES = frozenset(
 )
 
 
-@dataclass
-class TaskTimestamps:
-    """Timeline of a task, filled in by the orchestration engine."""
+#: Timestamp field names, in life-cycle order.  The columnar
+#: :class:`~repro.engine.store.TaskStore` keeps one float64 column (NaN =
+#: unset) per entry, in this order.
+TIMESTAMP_FIELDS = (
+    "created",
+    "ready",
+    "scheduled",
+    "staging_started",
+    "staging_done",
+    "dispatched",
+    "started",
+    "completed",
+)
 
-    created: float = 0.0
-    ready: Optional[float] = None
-    scheduled: Optional[float] = None
-    staging_started: Optional[float] = None
-    staging_done: Optional[float] = None
-    dispatched: Optional[float] = None
-    started: Optional[float] = None
-    completed: Optional[float] = None
+
+class TaskTimestamps:
+    """Timeline of a task, filled in by the orchestration engine.
+
+    Plain per-instance values until the owning task is inserted into a
+    :class:`TaskGraph`; from then on the instance is a *view* onto the
+    graph's columnar :class:`~repro.engine.store.TaskStore` — every read and
+    write goes to the task's row in the store's timestamp arrays, so bulk
+    scans (wait times, latency breakdowns) can run as array reductions.
+    """
+
+    __slots__ = ("_store", "_row", "_local")
+
+    def __init__(
+        self,
+        created: float = 0.0,
+        ready: Optional[float] = None,
+        scheduled: Optional[float] = None,
+        staging_started: Optional[float] = None,
+        staging_done: Optional[float] = None,
+        dispatched: Optional[float] = None,
+        started: Optional[float] = None,
+        completed: Optional[float] = None,
+    ) -> None:
+        self._store = None
+        self._row = -1
+        self._local: Dict[str, Optional[float]] = {
+            "created": created,
+            "ready": ready,
+            "scheduled": scheduled,
+            "staging_started": staging_started,
+            "staging_done": staging_done,
+            "dispatched": dispatched,
+            "started": started,
+            "completed": completed,
+        }
+
+    def _attach(self, store, row: int) -> None:
+        """Copy the local values into ``store`` and become a view of them."""
+        for name, value in self._local.items():
+            store.set_timestamp(row, name, value)
+        self._store = store
+        self._row = row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in TIMESTAMP_FIELDS)
+        return f"TaskTimestamps({fields})"
 
     @property
     def execution_time(self) -> Optional[float]:
@@ -86,6 +134,26 @@ class TaskTimestamps:
         return self.started - self.dispatched
 
 
+def _timestamp_property(name: str) -> property:
+    def getter(self: TaskTimestamps) -> Optional[float]:
+        if self._store is None:
+            return self._local[name]
+        return self._store.get_timestamp(self._row, name)
+
+    def setter(self: TaskTimestamps, value: Optional[float]) -> None:
+        if self._store is None:
+            self._local[name] = value
+        else:
+            self._store.set_timestamp(self._row, name, value)
+
+    return property(getter, setter)
+
+
+for _name in TIMESTAMP_FIELDS:
+    setattr(TaskTimestamps, _name, _timestamp_property(_name))
+del _name
+
+
 _task_counter = itertools.count()
 
 
@@ -93,37 +161,99 @@ def _next_task_id() -> str:
     return f"task-{next(_task_counter):08d}"
 
 
-@dataclass
 class Task:
-    """One invocation of a federated function."""
+    """One invocation of a federated function.
 
-    function: FederatedFunction
-    args: tuple = ()
-    kwargs: Dict[str, Any] = field(default_factory=dict)
-    task_id: str = field(default_factory=_next_task_id)
-    #: Task ids this task depends on (edges into this node).
-    dependencies: Set[str] = field(default_factory=set)
-    state: TaskState = TaskState.PENDING
-    future: UniFuture = field(default=None)  # type: ignore[assignment]
-    #: Endpoint the scheduler placed this task on (None until scheduled).
-    assigned_endpoint: Optional[str] = None
-    #: Endpoints on which this task already failed (used for reassignment).
-    failed_endpoints: List[str] = field(default_factory=list)
-    attempts: int = 0
-    timestamps: TaskTimestamps = field(default_factory=TaskTimestamps)
-    #: Files this task reads (RemoteFile objects), discovered from arguments.
-    input_files: List[Any] = field(default_factory=list)
-    #: Files this task produced (filled when the task completes).
-    output_files: List[Any] = field(default_factory=list)
-    result: Any = None
-    #: DHA rank; larger means more urgent (§IV-D, eq. 2).
-    priority: float = 0.0
-    #: Number of times the re-scheduling mechanism moved this task.
-    reschedule_count: int = 0
+    Inside a :class:`TaskGraph`, a task is a lazy *view* over the graph's
+    columnar :class:`~repro.engine.store.TaskStore`: writes to ``state``,
+    ``assigned_endpoint``, ``priority`` and the timestamps are mirrored into
+    the store's arrays (the Python attribute stays the fast scalar read
+    path), so the engine's bulk queries never have to touch task objects.
+    """
 
-    def __post_init__(self) -> None:
-        if self.future is None:
-            self.future = UniFuture(task_id=self.task_id)
+    def __init__(
+        self,
+        function: FederatedFunction,
+        args: tuple = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        task_id: Optional[str] = None,
+        dependencies: Optional[Set[str]] = None,
+        state: TaskState = TaskState.PENDING,
+        future: Optional[UniFuture] = None,
+        assigned_endpoint: Optional[str] = None,
+        failed_endpoints: Optional[List[str]] = None,
+        attempts: int = 0,
+        timestamps: Optional[TaskTimestamps] = None,
+        input_files: Optional[List[Any]] = None,
+        output_files: Optional[List[Any]] = None,
+        result: Any = None,
+        priority: float = 0.0,
+        reschedule_count: int = 0,
+    ) -> None:
+        self.function = function
+        self.args = args
+        self.kwargs: Dict[str, Any] = {} if kwargs is None else kwargs
+        self.task_id = _next_task_id() if task_id is None else task_id
+        #: Task ids this task depends on (edges into this node).
+        self.dependencies: Set[str] = set() if dependencies is None else dependencies
+        self._state = state
+        self.future = future if future is not None else UniFuture(task_id=self.task_id)
+        #: Endpoint the scheduler placed this task on (None until scheduled).
+        self._assigned_endpoint = assigned_endpoint
+        #: Endpoints on which this task already failed (used for reassignment).
+        self.failed_endpoints: List[str] = (
+            [] if failed_endpoints is None else failed_endpoints
+        )
+        self.attempts = attempts
+        self.timestamps = timestamps if timestamps is not None else TaskTimestamps()
+        #: Files this task reads (RemoteFile objects), discovered from arguments.
+        self.input_files: List[Any] = [] if input_files is None else input_files
+        #: Files this task produced (filled when the task completes).
+        self.output_files: List[Any] = [] if output_files is None else output_files
+        self.result = result
+        #: DHA rank; larger means more urgent (§IV-D, eq. 2).
+        self._priority = priority
+        #: Number of times the re-scheduling mechanism moved this task.
+        self.reschedule_count = reschedule_count
+        self._store = None
+        self._row = -1
+
+    # ------------------------------------------------------------ store view
+    def _attach(self, store, row: int) -> None:
+        """Become a view over ``store``'s arrays at ``row``."""
+        self._store = store
+        self._row = row
+        self.timestamps._attach(store, row)
+
+    @property
+    def state(self) -> TaskState:
+        return self._state
+
+    @state.setter
+    def state(self, value: TaskState) -> None:
+        self._state = value
+        if self._store is not None:
+            self._store.set_state(self._row, value)
+
+    @property
+    def assigned_endpoint(self) -> Optional[str]:
+        return self._assigned_endpoint
+
+    @assigned_endpoint.setter
+    def assigned_endpoint(self, value: Optional[str]) -> None:
+        self._assigned_endpoint = value
+        if self._store is not None:
+            self._store.set_endpoint(self._row, value)
+
+    @property
+    def priority(self) -> float:
+        return self._priority
+
+    @priority.setter
+    def priority(self, value: float) -> None:
+        self._priority = value
+        if self._store is not None:
+            self._store.priority[self._row] = value
 
     # ---------------------------------------------------------------- helpers
     @property
@@ -193,10 +323,20 @@ class TaskGraph:
     """
 
     def __init__(self) -> None:
+        # Imported lazily: repro.engine.store needs TaskState from this
+        # module, so a top-level import here would be circular.
+        from repro.engine.store import TaskStore
+
         self._tasks: Dict[str, Task] = {}
+        #: Tasks by store row (insertion order) — the object side of the
+        #: columnar store's stable int keys.
+        self._by_row: List[Task] = []
         self._successors: Dict[str, Set[str]] = {}
         self._unfinished_dependency_count: Dict[str, int] = {}
-        self._state_counts: Dict[TaskState, int] = {state: 0 for state in TaskState}
+        #: Columnar (struct-of-arrays) mirror of every task's hot state.
+        #: State counts, ready-set extraction and per-endpoint demand live
+        #: here as array aggregates instead of per-object scans.
+        self.store = TaskStore()
 
     # -------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -233,26 +373,25 @@ class TaskGraph:
         return [self._tasks[d] for d in sorted(self.get(task_id).dependencies)]
 
     def state_count(self, state: TaskState) -> int:
-        return self._state_counts[state]
+        return self.store.state_count(state)
 
     def counts(self) -> Dict[str, int]:
         """Number of tasks per state (keys are state values)."""
-        return {state.value: count for state, count in self._state_counts.items() if count}
+        return self.store.counts()
 
     def in_state(self, *states: TaskState) -> List[Task]:
-        wanted = set(states)
-        return [t for t in self._tasks.values() if t.state in wanted]
+        rows = self.store.rows_in_states(*states)
+        return [self._by_row[row] for row in rows]
 
     def ready_tasks(self) -> List[Task]:
         return self.in_state(TaskState.READY)
 
     def is_complete(self) -> bool:
         """True when every task reached a terminal state."""
-        terminal = sum(self._state_counts[s] for s in TERMINAL_STATES)
-        return terminal == len(self._tasks) and len(self._tasks) > 0
+        return self.store.terminal_count() == len(self._tasks) and len(self._tasks) > 0
 
     def unfinished_count(self) -> int:
-        return len(self._tasks) - sum(self._state_counts[s] for s in TERMINAL_STATES)
+        return len(self._tasks) - self.store.terminal_count()
 
     # ------------------------------------------------------------ mutation
     def add_task(self, task: Task, now: float = 0.0) -> Task:
@@ -279,7 +418,16 @@ class TaskGraph:
             task.timestamps.ready = now
         else:
             task.state = TaskState.PENDING
-        self._state_counts[task.state] += 1
+        row = self.store.add(
+            task.task_id,
+            state=task.state,
+            cores=task.cores,
+            input_mb=task.input_size_mb,
+            priority=task.priority,
+            endpoint=task.assigned_endpoint,
+        )
+        task._attach(self.store, row)
+        self._by_row.append(task)
         return task
 
     def add_dependency(self, upstream_id: str, downstream_id: str) -> None:
@@ -419,9 +567,9 @@ class TaskGraph:
 
     # ------------------------------------------------------------- internal
     def _set_state(self, task: Task, state: TaskState) -> None:
-        self._state_counts[task.state] -= 1
+        # The Task.state property mirrors the write into the store, which
+        # maintains the per-state counts and per-endpoint aggregates.
         task.state = state
-        self._state_counts[state] += 1
 
     def _would_create_cycle(self, upstream_id: str, downstream_id: str) -> bool:
         """True if ``downstream_id`` can already reach ``upstream_id``."""

@@ -18,7 +18,7 @@ coordinators rely on:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Type
+from typing import Callable, Deque, Dict, Iterable, List, Tuple, Type
 
 from repro.engine.events import Event
 
@@ -26,13 +26,26 @@ __all__ = ["EventBus"]
 
 Handler = Callable[[Event], None]
 
+_EMPTY: Tuple[Handler, ...] = ()
+
 
 class EventBus:
-    """Synchronous publish/subscribe hub for :mod:`repro.engine.events`."""
+    """Synchronous publish/subscribe hub for :mod:`repro.engine.events`.
+
+    Deliveries iterate immutable copy-on-write snapshots of the handler
+    lists, rebuilt only when a subscription changes — not copied per event.
+    A handler (un)subscribed *during* a delivery therefore takes effect from
+    the next event on, never for the event in flight, exactly as the old
+    copy-per-delivery behaviour guaranteed.
+    """
 
     def __init__(self) -> None:
         self._handlers: Dict[Type[Event], List[Handler]] = {}
         self._any_handlers: List[Handler] = []
+        #: Copy-on-write delivery snapshots (invalidated on subscription
+        #: changes, shared by every delivery in between).
+        self._snapshots: Dict[Type[Event], Tuple[Handler, ...]] = {}
+        self._any_snapshot: Tuple[Handler, ...] = ()
         self._queue: Deque[Event] = deque()
         self._draining = False
         #: Total number of events delivered (diagnostics).
@@ -47,12 +60,15 @@ class EventBus:
         """
         if not (isinstance(event_type, type) and issubclass(event_type, Event)):
             raise TypeError(f"expected an Event subclass, got {event_type!r}")
-        self._handlers.setdefault(event_type, []).append(handler)
+        handlers = self._handlers.setdefault(event_type, [])
+        handlers.append(handler)
+        self._snapshots[event_type] = tuple(handlers)
         return handler
 
     def subscribe_all(self, handler: Handler) -> Handler:
         """Invoke ``handler`` for every event (before type-specific handlers)."""
         self._any_handlers.append(handler)
+        self._any_snapshot = tuple(self._any_handlers)
         return handler
 
     def unsubscribe(self, event_type: Type[Event], handler: Handler) -> bool:
@@ -60,9 +76,10 @@ class EventBus:
         handlers = self._handlers.get(event_type, [])
         try:
             handlers.remove(handler)
-            return True
         except ValueError:
             return False
+        self._snapshots[event_type] = tuple(handlers)
+        return True
 
     # ----------------------------------------------------------- publication
     def publish(self, event: Event) -> None:
@@ -73,16 +90,31 @@ class EventBus:
         delivery order deterministic and stack depth bounded.
         """
         self._queue.append(event)
-        if self._draining:
-            return
+        if not self._draining:
+            self._drain()
+
+    def publish_many(self, events: Iterable[Event]) -> None:
+        """Enqueue ``events`` together, then deliver.
+
+        Equivalent to a handler publishing each event before any of them is
+        delivered: the whole group is queued ahead of any cascade the first
+        event's handlers publish.  The columnar completion path uses this to
+        reproduce the oracle ordering when one completion unlocks several
+        endpoint-pinned successors.
+        """
+        self._queue.extend(events)
+        if not self._draining and self._queue:
+            self._drain()
+
+    def _drain(self) -> None:
         self._draining = True
         try:
             while self._queue:
                 current = self._queue.popleft()
                 self.published_count += 1
-                for handler in list(self._any_handlers):
+                for handler in self._any_snapshot:
                     handler(current)
-                for handler in list(self._handlers.get(type(current), ())):
+                for handler in self._snapshots.get(type(current), _EMPTY):
                     handler(current)
         except BaseException:
             # A handler failed mid-cascade: drop the undelivered remainder so

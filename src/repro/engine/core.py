@@ -51,6 +51,8 @@ from repro.engine.events import (
     TaskFailed,
     TaskPlaced,
     TaskReady,
+    TasksCompleted,
+    TasksReady,
     WorkerChurn,
 )
 from repro.engine.failure import FailureCoordinator
@@ -166,7 +168,11 @@ class ExecutionEngine:
         self.clock = fabric.clock
         self.graph = TaskGraph()
         self.bus = EventBus()
-        self.index = TaskIndex()
+        #: Columnar fast path: batched event delivery + array-backed demand
+        #: queries.  Off, the scalar per-task event path (the equivalence
+        #: oracle) runs instead; both produce byte-identical event logs.
+        self._columnar = bool(getattr(config, "enable_columnar_engine", True))
+        self.index = TaskIndex(store=self.graph.store if self._columnar else None)
         #: Workflow namespace prefixing this engine's task ids (multi-tenant
         #: serving); "" keeps the process-global task counter of the
         #: single-workflow path byte-identically.
@@ -399,8 +405,11 @@ class ExecutionEngine:
                     f"workflow exceeded the wall-time budget of {max_wall_time_s} s"
                 )
             records = self.fabric.process()
-            for record in records:
-                self._handle_completion(record)
+            if self._columnar:
+                self._handle_completions(records)
+            else:
+                for record in records:
+                    self._handle_completion(record)
             self.periodic.check()
             progressed = self._pump()
             if records or progressed or self.fabric.pending_work():
@@ -422,7 +431,12 @@ class ExecutionEngine:
         engine runs under the multi-workflow serving layer)."""
         if isinstance(self.data_manager, DataPlane) and self._owns_data_manager:
             self.metrics.set_dataplane_stats(self.data_manager.stats_dict())
-        self.metrics.set_wait_times(self.wait_times())
+        if self._columnar:
+            # Stream the store's timestamp reduction straight into the
+            # collector's bounded sketch — no intermediate Python list.
+            self.metrics.set_wait_times(self.graph.store.wait_values())
+        else:
+            self.metrics.set_wait_times(self.wait_times())
         self.metrics.workflow_finished(self.clock.now())
 
     def wait_times(self) -> List[float]:
@@ -432,6 +446,10 @@ class ExecutionEngine:
         tenants: how long a runnable task sat in client queues (placement,
         staging, delay mechanism, dispatch) before a worker started it.
         """
+        if self._columnar:
+            # One array reduction over the store's timestamp columns; same
+            # values, same order as the scalar scan below.
+            return self.graph.store.wait_times()
         waits: List[float] = []
         for task in self.graph:
             ts = task.timestamps
@@ -516,16 +534,23 @@ class ExecutionEngine:
             if self.scheduler.supports_rescheduling and not isinstance(event, EndpointCrashed):
                 self.periodic.run_rescheduling()
 
+    def _prepare_ready(self, task: Task) -> None:
+        """Input-file augmentation + cache invalidation for a ready task."""
+        if self.staging.augment_input_files(task):
+            # The task's input size just changed: the store's size column,
+            # the task's own cached estimates, and its successors' are stale
+            # — while this task has no outputs yet, their estimates predict
+            # its output *from its input size*
+            # (SchedulingContext.estimated_input_mb's fallback path).
+            self.graph.store.input_mb[task._row] = task.input_size_mb
+            if self.context is not None:
+                self.context.invalidate_task(task.task_id)
+                for successor in self.graph.successors(task.task_id):
+                    self.context.invalidate_task(successor.task_id)
+
     def _on_task_ready(self, event: TaskReady) -> None:
         task = event.task
-        if self.staging.augment_input_files(task) and self.context is not None:
-            # The task's input size just changed: its own cached estimates
-            # are stale, and so are its successors' — while this task has no
-            # outputs yet, their estimates predict its output *from its input
-            # size* (SchedulingContext.estimated_input_mb's fallback path).
-            self.context.invalidate_task(task.task_id)
-            for successor in self.graph.successors(task.task_id):
-                self.context.invalidate_task(successor.task_id)
+        self._prepare_ready(task)
         if event.via == "submit" or task.assigned_endpoint is None:
             # Queue for the next scheduling round; endpoint-pinned tasks
             # submitted up-front join the queue too and bypass the scheduler
@@ -549,13 +574,117 @@ class ExecutionEngine:
             )
         )
 
+    def _handle_completions(self, records: List[TaskExecutionRecord]) -> None:
+        """Batched completion delivery — the columnar fast path.
+
+        One fabric round's records are folded into a single
+        :class:`TasksCompleted` and a single :class:`TasksReady` event
+        instead of N per-task bus cascades.  The scalar subscription chain
+        (endpoint monitor, task monitor, metrics, scheduler, engine
+        continuation, data plane, prefetcher) is inlined here *per record, in
+        wiring order*, so every observer sees the identical call sequence the
+        oracle path produces; the batch events' ``scalar_log`` carries the
+        oracle's event-log entries in their exact interleaved order (the
+        digest contract).  Cold paths — failed records and endpoint-pinned
+        successors, which trigger their own bus cascades — flush the pending
+        batch first so cross-event ordering is preserved.
+        """
+        if not records:
+            return
+        completed: List[Task] = []
+        completed_records: List[TaskExecutionRecord] = []
+        ready: List[Task] = []
+        log: List[tuple] = []
+        plane = self.data_manager if isinstance(self.data_manager, DataPlane) else None
+
+        def flush() -> None:
+            if not completed and not ready:
+                return
+            now = self.clock.now()
+            if completed:
+                self.bus.publish(
+                    TasksCompleted(
+                        time=now,
+                        count=len(completed),
+                        scalar_log=tuple(log),
+                        tasks=tuple(completed),
+                        records=tuple(completed_records),
+                    )
+                )
+            if ready:
+                self.bus.publish(
+                    TasksReady(time=now, count=len(ready), tasks=tuple(ready))
+                )
+            completed.clear()
+            completed_records.clear()
+            ready.clear()
+            log.clear()
+
+        for record in records:
+            task = self.graph.get(record.task_id)
+            if not record.success:
+                # Failure ladder: retries / reassignment / terminal failure
+                # publish scalar events of their own — run the oracle path.
+                flush()
+                self._handle_completion(record)
+                continue
+            now = self.clock.now()
+            log.append((round(now, 9), "TaskCompleted", task.name, record.endpoint, True))
+            completed.append(task)
+            completed_records.append(record)
+            # The TaskCompleted subscription chain, in wiring order.
+            self.endpoint_monitor.record_completion(record.endpoint, cores=task.cores)
+            self.task_monitor.observe_task(record)
+            self.metrics.record_completion(
+                record.endpoint, record.function_name, record.success
+            )
+            self.scheduler.on_task_completed(task, record)
+            newly_ready = self._apply_success(task, record)
+            if plane is not None:
+                plane.release_task(record.task_id)
+            if self.prefetcher is not None:
+                self.prefetcher.on_predecessor_progress(record.task_id)
+            pinned: List[Task] = []
+            for ready_task in newly_ready:
+                log.append((round(now, 9), "TaskReady", ready_task.name))
+                ready.append(ready_task)
+                self._prepare_ready(ready_task)
+                if ready_task.assigned_endpoint is None:
+                    self.placement.enqueue(ready_task)
+                else:
+                    pinned.append(ready_task)
+            if pinned:
+                # Endpoint-pinned successors go straight to staging via
+                # TaskPlaced; their cascade must observe the batch first, and
+                # the whole group is enqueued before any cascade runs —
+                # exactly the oracle's queue order.
+                flush()
+                self.bus.publish_many(
+                    TaskPlaced.for_task(t, time=now, endpoint=t.assigned_endpoint)
+                    for t in pinned
+                )
+        flush()
+
     def _on_task_completed(self, event: TaskCompleted) -> None:
         """Engine continuation: runs after every completion observer."""
         task, record = event.task, event.record
         if not record.success:
             self.failure.handle_execution_failure(task, record)
             return
+        newly_ready = self._apply_success(task, record)
+        for ready_task in newly_ready:
+            self.bus.publish(
+                TaskReady.for_task(ready_task, time=self.clock.now(), via="dependencies")
+            )
 
+    def _apply_success(self, task: Task, record: TaskExecutionRecord) -> List[Task]:
+        """State/bookkeeping effects of one successful completion.
+
+        Everything the engine continuation does short of announcing the
+        newly-ready successors (returned instead): the scalar path publishes
+        per-task :class:`TaskReady` events, the columnar path folds them into
+        the round's batch.
+        """
         task.timestamps.started = record.started_at
         # Register output data produced on the endpoint.
         task.output_files = []
@@ -591,20 +720,26 @@ class ExecutionEngine:
                     self.context.invalidate_task(successor.task_id)
         newly_ready = self.graph.mark_completed(task.task_id, now=record.completed_at)
         task.future.set_result(result_value)
-        if isinstance(self.data_manager, DataPlane):
+        if task.dependencies:
             # Output lifecycle: this completion may have been the last read
-            # of its parents' outputs — release their storage protection.
-            store = self.data_manager.store
+            # of its parents' outputs — release their storage protection,
+            # and *prune* fully-consumed entries so the live consumer map
+            # stays O(active tasks), not O(all-time tasks).
+            plane_store = (
+                self.data_manager.store
+                if isinstance(self.data_manager, DataPlane)
+                else None
+            )
             for dep in sorted(task.dependencies):
                 remaining = self._consumer_counts.get(dep, 0) - 1
-                self._consumer_counts[dep] = remaining
-                if remaining <= 0 and dep in self.graph:
+                if remaining > 0:
+                    self._consumer_counts[dep] = remaining
+                else:
+                    self._consumer_counts.pop(dep, None)
+                if plane_store is not None and remaining <= 0 and dep in self.graph:
                     for file in self.graph.get(dep).output_files:
-                        store.mark_expendable(file)
-        for ready_task in newly_ready:
-            self.bus.publish(
-                TaskReady.for_task(ready_task, time=self.clock.now(), via="dependencies")
-            )
+                        plane_store.mark_expendable(file)
+        return newly_ready
 
     def _on_transfer_result(self, result: TransferResult, concurrency: int) -> None:
         self.task_monitor.observe_transfer(result, concurrency)

@@ -12,11 +12,11 @@ monitor (mock update) and the scheduler (claim release) subscribe to.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import TYPE_CHECKING, Deque, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.dag import Task, TaskState
 from repro.core.exceptions import UniFaaSError
-from repro.engine.events import StagingDone, TaskDispatched, TaskPlaced
+from repro.engine.events import StagingDone, TaskDispatched, TaskPlaced, TasksDispatched
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.core import ExecutionEngine
@@ -81,6 +81,10 @@ class DispatchCoordinator:
         """
         engine = self._engine
         dispatched_any = False
+        #: Columnar path: dispatches of the round fold into one
+        #: TasksDispatched event instead of N per-task publishes.
+        batch: Optional[List[Task]] = [] if engine._columnar else None
+        batch_log: List[tuple] = []
         for endpoint, queue in self._staged_queues.items():
             allowance = None if budget is None else budget.get(endpoint, 0)
             while queue:
@@ -102,10 +106,19 @@ class DispatchCoordinator:
                     break
                 queue.popleft()
                 self._forget(task_id)
-                self.dispatch(task)
+                self.dispatch(task, batch=batch, batch_log=batch_log)
                 if allowance is not None:
                     allowance -= task.cores
                 dispatched_any = True
+        if batch:
+            engine.bus.publish(
+                TasksDispatched(
+                    time=engine.clock.now(),
+                    count=len(batch),
+                    scalar_log=tuple(batch_log),
+                    tasks=tuple(batch),
+                )
+            )
         return dispatched_any
 
     def staged_demand(self) -> Dict[str, int]:
@@ -113,12 +126,20 @@ class DispatchCoordinator:
 
         What this workflow would dispatch right now given unlimited budget —
         the demand the serving layer's arbitration policy allocates against.
-        Maintained incrementally (O(endpoints) per query); superseded queue
-        positions leave the counts the moment their task is re-placed.
+        On the columnar path the counts come straight from the task store's
+        incrementally-maintained per-endpoint staged-cores array; the dict
+        mirror below is the scalar oracle (and still O(endpoints) per query).
         """
+        if self._engine._columnar:
+            return self._engine.graph.store.staged_demand()
         return {ep: cores for ep, cores in self._staged_counts.items() if cores > 0}
 
-    def dispatch(self, task: Task) -> None:
+    def dispatch(
+        self,
+        task: Task,
+        batch: Optional[List[Task]] = None,
+        batch_log: Optional[List[tuple]] = None,
+    ) -> None:
         engine = self._engine
         endpoint = task.assigned_endpoint
         resolved_args, resolved_kwargs = None, None
@@ -134,11 +155,23 @@ class DispatchCoordinator:
         engine.graph.set_state(task.task_id, TaskState.DISPATCHED, now=engine.clock.now())
         engine.index.clear_undispatched(task.task_id)
         engine.fabric.submit(endpoint, request)
-        engine.bus.publish(
-            TaskDispatched.for_task(
-                task,
-                time=engine.clock.now(),
-                endpoint=endpoint,
-                cores=task.cores,
+        if batch is None:
+            engine.bus.publish(
+                TaskDispatched.for_task(
+                    task,
+                    time=engine.clock.now(),
+                    endpoint=endpoint,
+                    cores=task.cores,
+                )
             )
-        )
+            return
+        # Columnar path: run the TaskDispatched subscription chain inline
+        # (same order the bus wiring delivers it) and fold the event into the
+        # round's batch.
+        now = engine.clock.now()
+        batch_log.append((round(now, 9), "TaskDispatched", task.name, endpoint))
+        batch.append(task)
+        engine.endpoint_monitor.record_dispatch(endpoint, cores=task.cores)
+        engine.scheduler.on_task_dispatched(task, endpoint)
+        if engine.prefetcher is not None:
+            engine.prefetcher.on_predecessor_progress(task.task_id)

@@ -35,6 +35,7 @@ from repro.core.dag import Task
 from repro.faas.types import TaskExecutionRecord
 
 __all__ = [
+    "BatchEvent",
     "CapacityChanged",
     "ColdStartWindow",
     "EndpointCrashed",
@@ -51,7 +52,11 @@ __all__ = [
     "TaskFailed",
     "TaskPlaced",
     "TaskReady",
+    "TasksCompleted",
+    "TasksDispatched",
+    "TasksReady",
     "WorkerChurn",
+    "expand_event",
 ]
 
 
@@ -152,6 +157,67 @@ class TaskFailed(TaskEvent):
 
     def describe(self) -> Tuple:
         return (type(self).__name__, self.name)
+
+
+@dataclass(frozen=True)
+class BatchEvent(Event):
+    """One event for a whole batch of same-class task transitions.
+
+    The columnar engine core delivers one batch event per transition class
+    per pump round instead of N per-task callbacks.  ``scalar_log`` carries
+    the *scalar-equivalent* event-log entries — the exact
+    ``(round(time, 9), *describe())`` tuples, in the exact interleaved order,
+    that the per-task oracle path would have produced — which is how the
+    scenario determinism digests stay byte-identical with batching on or off
+    (the batch-event digest contract; see :func:`expand_event`).
+    """
+
+    count: int = 0
+    scalar_log: Tuple[Tuple, ...] = field(default=(), repr=False, compare=False)
+
+    def describe(self) -> Tuple:
+        return (type(self).__name__, self.count)
+
+
+@dataclass(frozen=True)
+class TasksCompleted(BatchEvent):
+    """A pump round's batch of successful completions (columnar path).
+
+    Its ``scalar_log`` also carries the interleaved ``TaskReady`` entries of
+    the successors those completions unlocked, because that is where the
+    oracle path logs them; the companion :class:`TasksReady` event therefore
+    contributes no log entries of its own.
+    """
+
+    tasks: Tuple[Task, ...] = field(default=(), repr=False, compare=False)
+    records: Tuple[TaskExecutionRecord, ...] = field(default=(), repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class TasksReady(BatchEvent):
+    """The successors a :class:`TasksCompleted` batch made ready."""
+
+    tasks: Tuple[Task, ...] = field(default=(), repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class TasksDispatched(BatchEvent):
+    """A pump round's batch of fabric submissions (columnar path)."""
+
+    tasks: Tuple[Task, ...] = field(default=(), repr=False, compare=False)
+
+
+def expand_event(event: Event) -> Tuple[Tuple, ...]:
+    """Scalar-oracle event-log entries for ``event``.
+
+    Scalar events expand to their own single entry; batch events expand to
+    the per-task entries of the oracle path.  Event-log recorders (and the
+    scenario digest) are defined over this expansion, which is what keeps
+    digests byte-identical across the columnar and scalar paths.
+    """
+    if isinstance(event, BatchEvent):
+        return event.scalar_log
+    return ((round(event.time, 9),) + event.describe(),)
 
 
 @dataclass(frozen=True)

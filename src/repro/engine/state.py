@@ -12,9 +12,10 @@ old set-based scan depended on hash randomisation.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.dag import Task
+from repro.engine.store import TaskStore
 
 __all__ = ["TaskIndex"]
 
@@ -32,7 +33,15 @@ class TaskIndex:
       incrementally for the metrics sampler and the scaling strategy.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[TaskStore] = None) -> None:
+        #: Columnar engine core: when the graph's :class:`TaskStore` is
+        #: attached, the per-endpoint undispatched counts are read from its
+        #: incrementally-maintained arrays (tasks in the scheduled / staging
+        #: / staged band) instead of this index's dicts.  The dicts are still
+        #: maintained — they carry the *placement order* the re-scheduling
+        #: pass needs, and they are the scalar oracle the equivalence suite
+        #: compares the arrays against.
+        self._store = store
         self._pending_schedule: Dict[str, Task] = {}
         self._undispatched: Dict[str, str] = {}  # task_id -> endpoint
         self._undispatched_counts: Dict[str, int] = {}
@@ -83,10 +92,14 @@ class TaskIndex:
 
     @property
     def undispatched_count(self) -> int:
+        if self._store is not None:
+            return self._store.undispatched_count
         return len(self._undispatched)
 
     def undispatched_by_endpoint(self) -> Dict[str, int]:
         """Non-zero per-endpoint counts of tasks awaiting dispatch."""
+        if self._store is not None:
+            return self._store.undispatched_by_endpoint()
         return {name: count for name, count in self._undispatched_counts.items() if count}
 
     # -------------------------------------------------------------- internal

@@ -17,17 +17,73 @@ Everything the paper's evaluation plots or tabulates is gathered here:
 from __future__ import annotations
 
 import math
+import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 __all__ = [
     "LatencyBreakdown",
     "MetricsCollector",
+    "StreamingStats",
     "TimeSeries",
     "WorkflowSummary",
     "percentile",
 ]
+
+
+class StreamingStats:
+    """Streaming mean + reservoir-sampled percentiles over a value stream.
+
+    The collector used to keep every per-task wait in a Python list, which
+    grows without bound with workflow size (a million tasks is tens of MB of
+    list + boxed floats for two summary numbers).  This keeps O(capacity)
+    state instead: a count, a running total, and a fixed-size uniform
+    reservoir (Vitter's algorithm R) driven by a deterministic seeded RNG so
+    runs stay reproducible.
+
+    Exactness contract: the mean accumulates left-to-right in observation
+    order — bit-identical to ``sum(list) / len(list)`` over the same stream —
+    and while ``count <= capacity`` the reservoir holds *every* observation,
+    so percentiles are exact (identical to nearest-rank over the full list).
+    All preset scenarios sit far below the default capacity; only
+    million-task-scale streams switch to sampled percentiles.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self._reservoir: List[float] = []
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._reservoir[slot] = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the reservoir (exact while the
+        stream fits in it, a uniform-sample estimate beyond)."""
+        return percentile(self._reservoir, q)
+
+    def __len__(self) -> int:
+        return self.count
 
 
 @dataclass
@@ -160,14 +216,20 @@ class MetricsCollector:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
-        # Optional latency breakdowns keyed by task id (Fig. 5).
+        # Optional latency breakdowns keyed by task id (Fig. 5), bounded: a
+        # million-task run must not retain a million six-field records for a
+        # figure that plots a handful.  Beyond the cap new tasks are counted
+        # but not stored (updates to already-stored tasks still land).
         self.latency_breakdowns: Dict[str, LatencyBreakdown] = {}
+        self.latency_breakdown_cap = 4096
+        self.latency_breakdowns_dropped = 0
 
         # Data-plane counters, pushed by the engine at workflow completion.
         self.dataplane_stats: Dict[str, float] = {}
 
-        # Per-task ready-to-start waits, pushed by the engine at completion.
-        self.wait_times: List[float] = []
+        # Per-task ready-to-start waits: streamed into O(1)-per-observation
+        # counters + a bounded reservoir instead of an unbounded list.
+        self.wait_stats = StreamingStats(seed=0)
         #: Owner label under the multi-workflow serving layer.
         self.tenant = ""
 
@@ -194,6 +256,12 @@ class MetricsCollector:
         self.scheduled_decisions += decisions
 
     def record_latency_breakdown(self, task_id: str, breakdown: LatencyBreakdown) -> None:
+        if (
+            task_id not in self.latency_breakdowns
+            and len(self.latency_breakdowns) >= self.latency_breakdown_cap
+        ):
+            self.latency_breakdowns_dropped += 1
+            return
         self.latency_breakdowns[task_id] = breakdown
 
     def set_dataplane_stats(self, stats: Dict[str, float]) -> None:
@@ -201,9 +269,16 @@ class MetricsCollector:
         rate, evictions, prefetch usefulness) for the workflow summary."""
         self.dataplane_stats = dict(stats)
 
-    def set_wait_times(self, waits: List[float]) -> None:
-        """Install the per-task ready-to-start waits for the summary."""
-        self.wait_times = list(waits)
+    def observe_wait(self, wait_s: float) -> None:
+        """Stream one task's ready-to-start wait into the summary stats."""
+        self.wait_stats.observe(wait_s)
+
+    def set_wait_times(self, waits: Iterable[float]) -> None:
+        """Replace the wait stream with ``waits`` (any iterable; consumed
+        once, never retained — the engine passes its store's timestamp
+        reduction straight through at finalize)."""
+        self.wait_stats = StreamingStats(seed=0)
+        self.wait_stats.observe_many(waits)
 
     # --------------------------------------------------------------- sampling
     def sample(
@@ -244,12 +319,10 @@ class MetricsCollector:
         return self.scheduling_cpu_s / self.scheduled_decisions
 
     def wait_time_mean_s(self) -> float:
-        if not self.wait_times:
-            return 0.0
-        return sum(self.wait_times) / len(self.wait_times)
+        return self.wait_stats.mean()
 
     def wait_time_p95_s(self) -> float:
-        return percentile(self.wait_times, 0.95)
+        return self.wait_stats.percentile(0.95)
 
     def summary(self, transfer_volume_mb: float = 0.0) -> WorkflowSummary:
         return WorkflowSummary(

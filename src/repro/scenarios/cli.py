@@ -111,6 +111,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         scale=args.scale,
         vectorized=False if args.no_vector else None,
+        columnar=False if args.no_columnar else None,
         dataplane=False if args.no_dataplane else None,
         workflows=args.workflows,
         arbitration=args.arbitration,
@@ -140,6 +141,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             scheduler=scheduler,
             seed=args.seed,
             vectorized=False if args.no_vector else None,
+            columnar=False if args.no_columnar else None,
             dataplane=False if args.no_dataplane else None,
             workflows=args.workflows,
         )
@@ -179,6 +181,7 @@ def _compare_arbitrations(args: argparse.Namespace, preset) -> int:
             scheduler=args.scheduler if hasattr(args, "scheduler") else None,
             seed=args.seed,
             vectorized=False if args.no_vector else None,
+            columnar=False if args.no_columnar else None,
             dataplane=False if args.no_dataplane else None,
             workflows=args.workflows,
             arbitration=policy,
@@ -231,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-vector", action="store_true",
                      help="run the scalar reference scheduler instead of the "
                           "array-backed vectorized hot path (byte-identical result)")
+    run.add_argument("--no-columnar", action="store_true",
+                     help="run the scalar per-task event engine instead of the "
+                          "columnar (struct-of-arrays) core with batched event "
+                          "delivery (byte-identical event-log digest)")
     run.add_argument("--no-dataplane", action="store_true",
                      help="stage through the paper's FIFO data manager instead of the "
                           "data-plane subsystem (replica store / transfer scheduler / "
@@ -257,6 +264,8 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None, help="override the preset's dynamics regime")
     compare.add_argument("--no-vector", action="store_true",
                          help="run the scalar reference schedulers")
+    compare.add_argument("--no-columnar", action="store_true",
+                         help="run the scalar per-task event engine core")
     compare.add_argument("--no-dataplane", action="store_true",
                          help="stage through the paper's FIFO data manager")
     compare.add_argument("--workflows", type=int, default=None,

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.client import UniFaaSClient
 from repro.core.dag import TaskState
-from repro.engine.events import Event
+from repro.engine.events import Event, expand_event
 from repro.experiments.environment import EndpointSetup, SimulationEnvironment, build_simulation
 from repro.faas.types import ServiceLatencyModel
 from repro.scenarios.dynamics import DynamicsInjector, DynamicsSpec, TimelineEvent
@@ -261,6 +261,12 @@ class ScenarioSpec:
     #: byte-identical either way (the equivalence tests gate on it); the CLI's
     #: ``--no-vector`` switches a run to the scalar reference implementation.
     vectorized: bool = True
+    #: Run the engine core on the columnar (struct-of-arrays) path: batched
+    #: event delivery, array-backed state/demand queries, and vectorized
+    #: serving arbitration.  Event-log digests are byte-identical either way
+    #: (the columnar equivalence tests gate on it); the CLI's
+    #: ``--no-columnar`` switches a run to the scalar per-task event oracle.
+    columnar: bool = True
     #: Route staging through the data-plane subsystem (replica store +
     #: priority transfer scheduling + prefetch).  The CLI's ``--no-dataplane``
     #: switches a run to the paper's FIFO staging path, whose event digests
@@ -298,6 +304,7 @@ class ScenarioSpec:
         dynamics: Optional[DynamicsSpec] = None,
         scale: Optional[float] = None,
         vectorized: Optional[bool] = None,
+        columnar: Optional[bool] = None,
         dataplane: Optional[bool] = None,
         workflows: Optional[int] = None,
         arbitration: Optional[str] = None,
@@ -307,6 +314,8 @@ class ScenarioSpec:
         spec = self
         if vectorized is not None:
             spec = dataclasses.replace(spec, vectorized=vectorized)
+        if columnar is not None:
+            spec = dataclasses.replace(spec, columnar=columnar)
         if dataplane is not None:
             spec = dataclasses.replace(spec, enable_dataplane=dataplane)
         if workflows is not None:
@@ -406,7 +415,10 @@ class _EventLogRecorder:
         self.entries: List[Tuple] = []
 
     def __call__(self, event: Event) -> None:
-        self.entries.append((round(event.time, 9),) + event.describe())
+        # Batch events expand to the exact per-task entries the scalar event
+        # path would have produced, so the digest is defined over the same
+        # sequence on both engine paths.
+        self.entries.extend(expand_event(event))
 
 
 def run_scenario(
@@ -477,6 +489,7 @@ def _build_environment(spec: ScenarioSpec, seed: int):
         enable_rescheduling=spec.enable_rescheduling,
         enable_scaling=spec.enable_scaling,
         enable_vectorized_scheduling=spec.vectorized,
+        enable_columnar_engine=spec.columnar,
         enable_dataplane=spec.enable_dataplane,
         enable_prefetch=spec.enable_prefetch,
         storage_capacity_gb=spec.storage_gb,

@@ -235,7 +235,10 @@ class WorkflowManager:
         self.policy = (
             arbitration
             if isinstance(arbitration, ArbitrationPolicy)
-            else create_arbitration(arbitration)
+            else create_arbitration(
+                arbitration,
+                vectorized=getattr(config, "enable_columnar_engine", True),
+            )
         )
         self.scaling_check_interval_s = scaling_check_interval_s
 
@@ -382,8 +385,25 @@ class WorkflowManager:
                 )
             activated = self._activate_due()
             records = self.fabric.process()
-            for record in records:
-                self._engine_for_task(record.task_id)._handle_completion(record)
+            if getattr(self.config, "enable_columnar_engine", True):
+                # Columnar path: hand each engine its *consecutive* run of
+                # records as one batch.  Batching only adjacent same-engine
+                # records preserves the global record order every shared,
+                # order-sensitive component (task monitor, profilers) sees.
+                start = 0
+                while start < len(records):
+                    engine = self._engine_for_task(records[start].task_id)
+                    stop = start + 1
+                    while (
+                        stop < len(records)
+                        and self._engine_for_task(records[stop].task_id) is engine
+                    ):
+                        stop += 1
+                    engine._handle_completions(records[start:stop])
+                    start = stop
+            else:
+                for record in records:
+                    self._engine_for_task(record.task_id)._handle_completion(record)
             for handle in self._active_workflows():
                 handle.engine.periodic.check()
             self._check_scaling()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.functions import SimProfile, function
 from repro.engine.bus import EventBus
-from repro.engine.events import CapacityChanged, TaskReady
+from repro.engine.events import CapacityChanged, TaskReady, expand_event
 
 from tests.integration.conftest import build_two_site_env
 
@@ -121,7 +121,7 @@ def _run_logged_workflow(seed=0):
     env = build_two_site_env(seed=seed)
     client = env.make_client(env.make_config("DHA"))
     log = []
-    client.bus.subscribe_all(lambda e: log.append((e.time,) + e.describe()))
+    client.bus.subscribe_all(lambda e: log.extend(expand_event(e)))
     with client:
         root = bus_stage_a()
         left = bus_stage_b(root)
@@ -153,3 +153,69 @@ class TestDeterminism:
             "TaskDispatched",
             "TaskCompleted",
         ]
+
+
+class TestCopyOnWriteSnapshots:
+    def test_subscribe_during_dispatch_misses_the_in_flight_event(self):
+        bus = EventBus()
+        calls = []
+
+        def late_handler(event):
+            calls.append(("late", event.time))
+
+        def subscribing_handler(event):
+            calls.append(("first", event.time))
+            bus.subscribe(CapacityChanged, late_handler)
+
+        bus.subscribe(CapacityChanged, subscribing_handler)
+        bus.publish(CapacityChanged(time=0.0))
+        # The handler subscribed mid-delivery must not see the event in
+        # flight (delivery iterates the snapshot taken before it existed)...
+        assert calls == [("first", 0.0)]
+        bus.publish(CapacityChanged(time=1.0))
+        # ...but sees every later event exactly once.
+        assert calls == [("first", 0.0), ("first", 1.0), ("late", 1.0)]
+
+    def test_subscribe_during_dispatch_sees_cascaded_events(self):
+        bus = EventBus()
+        calls = []
+
+        def late_handler(event):
+            calls.append(event.time)
+
+        def cascading_handler(event):
+            if event.time == 0.0:
+                bus.subscribe(CapacityChanged, late_handler)
+                bus.publish(CapacityChanged(time=1.0))
+
+        bus.subscribe(CapacityChanged, cascading_handler)
+        bus.publish(CapacityChanged(time=0.0))
+        # A cascade is a fresh delivery, so the new subscription applies.
+        assert calls == [1.0]
+
+    def test_unsubscribe_during_dispatch_still_delivers_in_flight(self):
+        bus = EventBus()
+        calls = []
+
+        def second(event):
+            calls.append("second")
+
+        def first(event):
+            calls.append("first")
+            bus.unsubscribe(CapacityChanged, second)
+
+        bus.subscribe(CapacityChanged, first)
+        bus.subscribe(CapacityChanged, second)
+        bus.publish(CapacityChanged(time=0.0))
+        assert calls == ["first", "second"]
+        bus.publish(CapacityChanged(time=1.0))
+        assert calls == ["first", "second", "first"]
+
+    def test_snapshots_are_not_copied_per_delivery(self):
+        bus = EventBus()
+        bus.subscribe(CapacityChanged, lambda e: None)
+        snapshot = bus._snapshots[CapacityChanged]
+        for t in range(100):
+            bus.publish(CapacityChanged(time=float(t)))
+        # Same tuple object throughout: rebuilt on subscription change only.
+        assert bus._snapshots[CapacityChanged] is snapshot

@@ -1,0 +1,64 @@
+"""Regression: the engine's dependency consumer counts must not leak.
+
+``ExecutionEngine._consumer_counts`` tracks, per predecessor task, how many
+successors still need its output.  It used to decrement only when the data
+plane was active (the counts double as the replica store's expendability
+signal), so on the plain staging path every entry survived the whole run —
+an O(all-time edges) leak on long-running serving workloads.  Entries are
+now pruned at zero for every data-manager flavour.
+"""
+
+from repro.core.functions import SimProfile, function
+
+from tests.integration.conftest import build_two_site_env
+
+
+@function(sim_profile=SimProfile(base_time_s=1.0, output_base_mb=1.0))
+def cc_root(data=None):
+    return None
+
+
+@function(sim_profile=SimProfile(base_time_s=0.5, output_base_mb=0.5))
+def cc_mid(upstream=None):
+    return None
+
+
+@function(sim_profile=SimProfile(base_time_s=0.25))
+def cc_join(*parts):
+    return None
+
+
+def _run_diamond(enable_dataplane):
+    env = build_two_site_env()
+    client = env.make_client(env.make_config("DHA", enable_dataplane=enable_dataplane))
+    with client:
+        root = cc_root()
+        left = cc_mid(root)
+        right = cc_mid(root)
+        cc_join(left, right)
+        client.run()
+    assert client.graph.is_complete()
+    return client.engine
+
+
+class TestConsumerCountBoundedness:
+    def test_counts_drain_with_the_dataplane(self):
+        engine = _run_diamond(enable_dataplane=True)
+        assert engine._consumer_counts == {}
+
+    def test_counts_drain_on_the_plain_staging_path(self):
+        engine = _run_diamond(enable_dataplane=False)
+        assert engine._consumer_counts == {}
+
+    def test_counts_track_live_consumers_mid_run(self):
+        env = build_two_site_env()
+        client = env.make_client(env.make_config("DHA"))
+        with client:
+            root = cc_root()
+            cc_mid(root)
+            cc_mid(root)
+        engine = client.engine
+        root_id = next(t.task_id for t in client.graph if t.function.name == "cc_root")
+        assert engine._consumer_counts[root_id] == 2
+        client.run()
+        assert engine._consumer_counts == {}

@@ -11,7 +11,7 @@ exactly — only the timestamps (simulated vs wall clock) differ.
 from repro.core.config import Config, ExecutorSpec
 from repro.core.client import UniFaaSClient
 from repro.core.functions import SimProfile, function
-from repro.engine.events import TaskEvent
+from repro.engine.events import BatchEvent, TaskEvent
 from repro.faas.local import LocalEndpoint, LocalFabric
 
 from tests.integration.conftest import build_two_site_env
@@ -42,9 +42,16 @@ def _chain(client):
 
 def _logged_run(client, max_wall_time_s=None):
     log = []
-    client.bus.subscribe_all(
-        lambda e: log.append((type(e).__name__, e.name)) if isinstance(e, TaskEvent) else None
-    )
+
+    def record(event):
+        if isinstance(event, TaskEvent):
+            log.append((type(event).__name__, event.name))
+        elif isinstance(event, BatchEvent):
+            # Batch events carry the per-task scalar log entries they folded:
+            # (time, event type, task name, ...).
+            log.extend((entry[1], entry[2]) for entry in event.scalar_log)
+
+    client.bus.subscribe_all(record)
     final = _chain(client)
     client.run(max_wall_time_s=max_wall_time_s)
     return final, log

@@ -13,7 +13,7 @@ from repro.core.config import Config, ExecutorSpec
 from repro.core.dag import Task
 from repro.core.exceptions import EndpointError
 from repro.core.functions import FederatedFunction, SimProfile, function, set_current_client
-from repro.engine.events import TaskDispatched
+from repro.engine.events import TaskDispatched, TasksDispatched
 from repro.faas.local import LocalEndpoint, LocalFabric
 
 
@@ -49,14 +49,18 @@ class TestLocalDispatchWithoutProfile:
             enable_scaling=False,
         )
         client = UniFaaSClient(config, fabric)
-        dispatched = []
-        client.bus.subscribe(TaskDispatched, dispatched.append)
+        dispatched_cores = []
+        client.bus.subscribe(TaskDispatched, lambda e: dispatched_cores.append(e.cores))
+        client.bus.subscribe(
+            TasksDispatched,
+            lambda e: dispatched_cores.extend(t.cores for t in e.tasks),
+        )
         try:
             with client:
                 result = plain_add(2, 3)
                 client.run(max_wall_time_s=30.0)
             assert result.result() == 5
-            assert dispatched and all(e.cores == 1 for e in dispatched)
+            assert dispatched_cores and all(c == 1 for c in dispatched_cores)
         finally:
             fabric.shutdown()
 

@@ -82,3 +82,86 @@ class TestMetricsCollector:
     def test_invalid_sample_interval(self):
         with pytest.raises(ValueError):
             MetricsCollector(sample_interval_s=0.0)
+
+
+class TestStreamingStats:
+    def test_mean_matches_list_sum_bit_for_bit(self):
+        import random
+
+        from repro.metrics.collector import StreamingStats
+
+        rng = random.Random(7)
+        values = [rng.uniform(0.0, 500.0) for _ in range(10_000)]
+        stats = StreamingStats()
+        stats.observe_many(values)
+        assert stats.mean() == sum(values) / len(values)
+
+    def test_percentile_exact_while_stream_fits_the_reservoir(self):
+        import random
+
+        from repro.metrics.collector import StreamingStats, percentile
+
+        rng = random.Random(11)
+        values = [rng.uniform(0.0, 100.0) for _ in range(1000)]
+        stats = StreamingStats(capacity=4096)
+        stats.observe_many(values)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert stats.percentile(q) == percentile(values, q)
+
+    def test_reservoir_stays_bounded_and_estimates_beyond_capacity(self):
+        import random
+
+        from repro.metrics.collector import StreamingStats
+
+        rng = random.Random(13)
+        stats = StreamingStats(capacity=256)
+        n = 50_000
+        for _ in range(n):
+            stats.observe(rng.uniform(0.0, 1.0))
+        assert len(stats._reservoir) == 256
+        assert stats.count == n
+        # Uniform[0,1] p95 lands near 0.95 with a uniform sample.
+        assert 0.85 <= stats.percentile(0.95) <= 1.0
+
+    def test_invalid_capacity(self):
+        from repro.metrics.collector import StreamingStats
+
+        with pytest.raises(ValueError):
+            StreamingStats(capacity=0)
+
+
+class TestWaitTimeStreaming:
+    def test_set_wait_times_replaces_the_stream(self):
+        collector = MetricsCollector()
+        collector.observe_wait(1.0)
+        collector.set_wait_times([2.0, 4.0])
+        assert collector.wait_time_mean_s() == 3.0
+        assert collector.wait_time_p95_s() == 4.0
+
+    def test_accepts_any_iterable_without_retaining_it(self):
+        collector = MetricsCollector()
+        collector.set_wait_times(float(v) for v in range(10))
+        assert collector.wait_time_mean_s() == 4.5
+
+    def test_empty_stream_guards(self):
+        collector = MetricsCollector()
+        assert collector.wait_time_mean_s() == 0.0
+        assert collector.wait_time_p95_s() == 0.0
+
+
+class TestLatencyBreakdownCap:
+    def test_new_tasks_beyond_the_cap_are_counted_not_stored(self):
+        collector = MetricsCollector()
+        collector.latency_breakdown_cap = 3
+        for i in range(5):
+            collector.record_latency_breakdown(f"t{i}", LatencyBreakdown())
+        assert len(collector.latency_breakdowns) == 3
+        assert collector.latency_breakdowns_dropped == 2
+
+    def test_updates_to_stored_tasks_still_land(self):
+        collector = MetricsCollector()
+        collector.latency_breakdown_cap = 1
+        collector.record_latency_breakdown("t0", LatencyBreakdown(execution_s=1.0))
+        collector.record_latency_breakdown("t1", LatencyBreakdown())  # dropped
+        collector.record_latency_breakdown("t0", LatencyBreakdown(execution_s=2.0))
+        assert collector.latency_breakdowns["t0"].execution_s == 2.0
