@@ -1,0 +1,53 @@
+"""Decorator-based workflow authoring over the dynamic task graph.
+
+Public surface::
+
+    from repro.authoring import job, after, require, ensure, workflow
+    from repro.authoring import WorkflowRun
+
+See :mod:`repro.authoring.api` for the declaration semantics,
+:mod:`repro.authoring.runtime` for the execution model, and
+:mod:`repro.authoring.zoo` for the registered scenario-zoo workflows.
+"""
+
+from repro.authoring.api import (
+    EDGE_STATUSES,
+    Job,
+    JobEdge,
+    WorkflowDefinition,
+    after,
+    ensure,
+    job,
+    require,
+    workflow,
+)
+from repro.authoring.registry import (
+    RegisteredWorkflow,
+    build_registered,
+    get_workflow,
+    is_registered,
+    register_workflow,
+    registered_names,
+)
+from repro.authoring.runtime import ARRAY_BATCH, JobOutcome, WorkflowRun
+
+__all__ = [
+    "ARRAY_BATCH",
+    "EDGE_STATUSES",
+    "Job",
+    "JobEdge",
+    "JobOutcome",
+    "RegisteredWorkflow",
+    "WorkflowDefinition",
+    "WorkflowRun",
+    "after",
+    "build_registered",
+    "ensure",
+    "get_workflow",
+    "is_registered",
+    "job",
+    "register_workflow",
+    "registered_names",
+    "require",
+    "workflow",
+]

@@ -189,6 +189,7 @@ class Task:
         result: Any = None,
         priority: float = 0.0,
         reschedule_count: int = 0,
+        max_retries: Optional[int] = None,
     ) -> None:
         self.function = function
         self.args = args
@@ -215,6 +216,10 @@ class Task:
         self._priority = priority
         #: Number of times the re-scheduling mechanism moved this task.
         self.reschedule_count = reschedule_count
+        #: Per-task override of ``Config.max_task_retries`` on the §IV-G
+        #: failure ladder (``None`` = use the config default).  Set by the
+        #: authoring API's ``@job(retries=...)``.
+        self.max_retries: Optional[int] = max_retries
         self._store = None
         self._row = -1
 

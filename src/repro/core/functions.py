@@ -86,6 +86,11 @@ class SimProfile:
     jitter: float = 0.0
     #: Number of workers (cores) the task occupies; 1 for ordinary functions.
     cores: int = 1
+    #: Probability that one execution attempt of this function fails on the
+    #: endpoint (drawn from the endpoint's seeded RNG).  Combined with the
+    #: endpoint-level injection rate; 1.0 makes every attempt fail, which is
+    #: how the scenario zoo exhausts the §IV-G ladder deterministically.
+    failure_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.base_time_s < 0 or self.time_per_input_mb_s < 0:
@@ -96,6 +101,8 @@ class SimProfile:
             raise ValueError("jitter must be non-negative")
         if self.cores < 1:
             raise ValueError("cores must be >= 1")
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError("failure_rate must be within [0, 1]")
 
     def duration_on(self, speed_factor: float, input_mb: float = 0.0, jitter_draw: float = 1.0) -> float:
         """Sampled execution time on hardware with the given speed factor."""

@@ -28,7 +28,7 @@ endpoints (examples).
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.core.config import Config
 from repro.core.dag import Task, TaskGraph, TaskState
@@ -73,6 +73,7 @@ from repro.sched.base import Scheduler, SchedulingContext
 
 __all__ = [
     "ENDPOINT_HINT_KWARG",
+    "MAX_RETRIES_KWARG",
     "ExecutionEngine",
     "build_data_manager",
     "build_scaling_strategy",
@@ -81,6 +82,10 @@ __all__ = [
 #: Reserved keyword argument that pins a task to a specific endpoint,
 #: bypassing the scheduler (used by the elasticity experiments).
 ENDPOINT_HINT_KWARG = "unifaas_endpoint"
+
+#: Reserved keyword argument that overrides the §IV-G retry budget for one
+#: task (the authoring API's ``@job(retries=...)``).
+MAX_RETRIES_KWARG = "unifaas_max_retries"
 
 
 def build_data_manager(config: Config, backend: TransferBackend, clock) -> DataManager:
@@ -240,6 +245,15 @@ class ExecutionEngine:
         # Engine state.
         self.context: Optional[SchedulingContext] = None
         self._running = False
+        #: Tasks submitted since the last pump round, handed to the scheduler
+        #: in one ``on_tasks_added`` batch (the sole graph-growth hook) so
+        #: DHA's incremental ancestors-only recompute runs once per round.
+        self._pending_added: List[Task] = []
+        #: Workflow-growth sources (authoring runtimes).  Drained at the top
+        #: of every pump round — a deterministic point outside any bus
+        #: cascade — so runtime graph growth is digest-stable across the
+        #: columnar and scalar event paths.
+        self._growth_hooks: List[Callable[[], None]] = []
         #: Outstanding consumers per task id — the data plane's output
         #: lifecycle: when the count hits zero the producer's outputs are
         #: *expendable* (their last replica may be evicted).  Maintained for
@@ -345,6 +359,7 @@ class ExecutionEngine:
         """Register one invocation of ``fn`` and return its future."""
         kwargs = dict(kwargs)
         endpoint_hint = kwargs.pop(ENDPOINT_HINT_KWARG, None)
+        max_retries = kwargs.pop(MAX_RETRIES_KWARG, None)
 
         dependencies: Set[str] = set()
         input_files: List[RemoteFile] = []
@@ -379,12 +394,16 @@ class ExecutionEngine:
                     self.data_manager.store.reclaim(file)
         if endpoint_hint is not None:
             task.assigned_endpoint = str(endpoint_hint)
+        if max_retries is not None:
+            task.max_retries = int(max_retries)
         self.graph.add_task(task, now=self.clock.now())
 
         if task.state == TaskState.READY:
             self.bus.publish(TaskReady.for_task(task, time=self.clock.now(), via="submit"))
         if self._running:
-            self.scheduler.on_tasks_added([task])
+            # Deferred: the scheduler sees every addition of this pump round
+            # in one on_tasks_added batch (flushed by drain_growth).
+            self._pending_added.append(task)
         return task.future
 
     # -------------------------------------------------------------------- run
@@ -503,12 +522,45 @@ class ExecutionEngine:
         raise SchedulingError(f"workflow stalled; task states: {counts}")
 
     # ------------------------------------------------------------------ pump
+    def add_growth_hook(self, hook: Callable[[], None]) -> None:
+        """Register a workflow-growth source (an authoring runtime).
+
+        Hooks run at the top of every pump round — a deterministic point
+        *outside* any bus cascade — and may call :meth:`submit`.  Keeping
+        growth out of completion cascades is what makes runtime graph growth
+        digest-stable across the columnar and scalar event paths: both log a
+        round's completions first, then the new tasks' ``TaskReady`` entries
+        in the same order.
+        """
+        self._growth_hooks.append(hook)
+
+    def drain_growth(self) -> bool:
+        """Run growth hooks, then notify the scheduler of the round's batch.
+
+        ``Scheduler.on_tasks_added`` is the sole graph-growth hook: every
+        task submitted since the last round (by growth hooks or directly by
+        the caller) lands in one batch, so DHA's incremental ancestors-only
+        priority recompute runs once instead of once per task.
+
+        Returns True when the graph grew (feeds stall detection and lets the
+        run loop see recovery branches materialized by a terminal failure
+        before it re-checks completion).
+        """
+        before = len(self.graph)
+        for hook in self._growth_hooks:
+            hook()
+        if self._pending_added:
+            batch = self._pending_added
+            self._pending_added = []
+            self.scheduler.on_tasks_added(batch)
+        return len(self.graph) > before
+
     def _pump(self) -> bool:
         """One round of scheduling, staging and dispatching.
 
         Returns True when any task changed state (used for stall detection).
         """
-        progressed = False
+        progressed = self.drain_growth()
         progressed |= self.placement.schedule_ready()
         progressed |= self.dispatch.dispatch_staged()
         self.fabric.flush()

@@ -121,7 +121,14 @@ class FailureCoordinator:
         all_endpoints = engine.fabric.endpoint_names()
         online = set(self._online_endpoints())
 
-        if task.attempts <= engine.config.max_task_retries and endpoint in online:
+        # Per-task retry budget (authoring API's ``@job(retries=...)``) wins
+        # over the config-wide default when set.
+        retry_limit = (
+            task.max_retries
+            if task.max_retries is not None
+            else engine.config.max_task_retries
+        )
+        if task.attempts <= retry_limit and endpoint in online:
             # Retry on the endpoint chosen by the scheduler (data already there).
             retry_endpoint = endpoint
         else:

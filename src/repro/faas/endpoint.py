@@ -465,7 +465,11 @@ class SimulatedEndpoint:
             self._active_workers -= retire
             self._pending_removals -= retire
 
-        failed = self.failure_rate > 0 and bool(self.rng.random() < self.failure_rate)
+        # Per-function poison (SimProfile.failure_rate) combines with the
+        # endpoint-level injection rate; the RNG is only consumed when some
+        # rate is set, so zero-rate runs keep their exact random streams.
+        rate = max(self.failure_rate, request.sim_failure_rate)
+        failed = rate > 0 and bool(self.rng.random() < rate)
         completed_at = self.kernel.now()
         self.busy_core_seconds += (completed_at - running.started_at) * request.cores
         if failed:

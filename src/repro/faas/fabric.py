@@ -157,6 +157,7 @@ class SimulatedFabric(ExecutionFabric):
             input_mb=input_mb,
             sim_duration_s=duration,
             sim_output_mb=profile.output_mb(input_mb),
+            sim_failure_rate=profile.failure_rate,
         )
 
     def submit(self, endpoint_name: str, request: TaskExecutionRequest) -> None:

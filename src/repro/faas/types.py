@@ -94,6 +94,10 @@ class TaskExecutionRequest:
     sim_duration_s: Optional[float] = None
     #: Simulated output data volume in MB.
     sim_output_mb: float = 0.0
+    #: Per-attempt failure probability carried from the function's
+    #: :class:`~repro.core.functions.SimProfile`; combined with the
+    #: endpoint-level injection rate at completion time.
+    sim_failure_rate: float = 0.0
     #: Real callable and arguments (local mode only).
     callable_: Optional[Callable[..., Any]] = None
     args: tuple = ()
@@ -106,6 +110,8 @@ class TaskExecutionRequest:
             raise ValueError("data sizes must be non-negative")
         if self.sim_duration_s is not None and self.sim_duration_s < 0:
             raise ValueError("sim_duration_s must be non-negative")
+        if not 0.0 <= self.sim_failure_rate <= 1.0:
+            raise ValueError("sim_failure_rate must be within [0, 1]")
 
 
 @dataclass

@@ -103,6 +103,17 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_workflows(args: argparse.Namespace) -> int:
+    from repro.authoring.registry import get_workflow, registered_names
+
+    names = registered_names()
+    width = max(len(name) for name in names)
+    print(f"{'NAME':<{width}}  DESCRIPTION")
+    for name in names:
+        print(f"{name:<{width}}  {get_workflow(name).description}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     preset = get_scenario(args.name)
     preset = resolve_dynamics(args.dynamics, preset)
@@ -221,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-scenarios", help="list the preset registry").set_defaults(
         func=_cmd_list
     )
+
+    sub.add_parser(
+        "list-workflows", help="list the registered authored (zoo) workflows"
+    ).set_defaults(func=_cmd_list_workflows)
 
     run = sub.add_parser("run-scenario", help="run one scenario preset")
     run.add_argument("name", help="preset name (see list-scenarios)")

@@ -281,6 +281,50 @@ def _build_registry() -> Dict[str, ScenarioSpec]:
             workflow_stagger_s=5.0,
             dynamics=standard_dynamics("churn"),
         ),
+        # ------------------------------------------------ authoring zoo
+        ScenarioSpec(
+            name="zoo-conditional",
+            description="Authored conditional branches: one ensure holds (its "
+                        "fallback is skipped), one is violated (its recovery "
+                        "branch materializes at runtime)",
+            workload=WorkloadSpec(kind="zoo-conditional", duration_s=3.0,
+                                  output_mb=4.0),
+            topology=_TRIO,
+            scheduler="DHA",
+        ),
+        ScenarioSpec(
+            name="zoo-convergence",
+            description="Authored iterate-until-metric loop with a bounded trip "
+                        "count; trips grow the graph mid-run",
+            workload=WorkloadSpec(kind="zoo-convergence", duration_s=3.0,
+                                  output_mb=4.0),
+            topology=_TRIO,
+            scheduler="DHA",
+        ),
+        ScenarioSpec(
+            name="zoo-array",
+            description="Authored 12k-wide array fan-out expanding lazily in "
+                        "batches through the columnar store, then reducing",
+            workload=WorkloadSpec(kind="zoo-array", task_count=12000,
+                                  duration_s=0.05, output_mb=2.0),
+            topology=_TRIO,
+            scheduler="DHA",
+        ),
+        ScenarioSpec(
+            name="zoo-mixed",
+            description="Two tenants of the full zoo — conditional branch, "
+                        "convergence loop, poison-failure recovery edge and a "
+                        "10k array fan-out — under worker churn with fair-share "
+                        "arbitration",
+            workload=WorkloadSpec(kind="zoo-mixed", task_count=10000,
+                                  duration_s=0.05),
+            topology=_TRIO,
+            scheduler="DHA",
+            workflows=2,
+            arbitration="fair_share",
+            workflow_stagger_s=10.0,
+            dynamics=standard_dynamics("churn"),
+        ),
         # --------------------------------------------------- CI workhorse
         ScenarioSpec(
             name="ci-smoke",

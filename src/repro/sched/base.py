@@ -325,7 +325,15 @@ class Scheduler(ABC):
         """Offline pass over the (currently known) DAG.  Optional."""
 
     def on_tasks_added(self, tasks: Sequence[Task]) -> None:
-        """Called when a dynamic workflow grows during execution.  Optional."""
+        """Runtime graph growth.  Optional — this is the *sole* growth hook.
+
+        The engine batches every task added during one pump round (authoring
+        runtimes, mid-run ``submit`` calls) into a single call, so an
+        incremental implementation (e.g. DHA's ancestors-only priority
+        recompute) pays its cost once per round, not once per task.  The
+        tasks are already wired into the graph and, when dependency-free,
+        already announced via ``TaskReady``.
+        """
 
     @abstractmethod
     def schedule(self, ready_tasks: Sequence[Task]) -> List[Placement]:

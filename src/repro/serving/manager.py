@@ -497,6 +497,13 @@ class WorkflowManager:
         tenants = self._tenants(active)
         progressed = False
 
+        # Workflow growth first (authoring runtimes reacting to terminal
+        # outcomes), in arrival order, so demand sizes below count the tasks
+        # materialized this round and a tenant whose recovery branch just
+        # appeared is not finished prematurely.
+        for handle in active:
+            progressed |= handle.engine.drain_growth()
+
         # Placement: slice the *unclaimed* free capacity (free workers minus
         # every tenant's not-yet-dispatched claims) between the workflows
         # with placeable work, so capacity-limited placement (Locality,

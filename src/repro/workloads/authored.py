@@ -1,0 +1,54 @@
+"""Legacy generators re-expressed through the authoring API.
+
+The layered DAG generator (``scenarios/spec.py::_build_layered_workload``)
+re-declared job-by-job with :mod:`repro.authoring`: every node becomes a
+plain success-edge :class:`~repro.authoring.api.Job` sharing the
+``layer_task`` task type.  Because plain success-edge jobs materialize
+eagerly in declaration order with their parents' futures as arguments, the
+engine sees the *exact* submission sequence the static builder produces —
+the parity proof that the authoring surface adds no behavioral drift
+(`tests/scenarios/test_zoo.py` pins the digests equal).
+"""
+
+from __future__ import annotations
+
+from repro.authoring.api import job, workflow
+
+__all__ = ["LAYERED_AUTHORED"]
+
+
+def _layer_node(*args, **kwargs):  # pragma: no cover - never runs in simulation
+    return None
+
+
+@workflow(name="zoo-layered")
+def _layered(
+    task_count: int = 200,
+    layer_width: int = 25,
+    duration_s: float = 4.0,
+    output_mb: float = 5.0,
+):
+    """The layered DAG: each task depends on two tasks of the previous layer."""
+    previous = []
+    count = 0
+    while count < task_count:
+        layer_size = min(layer_width, task_count - count)
+        layer = []
+        for i in range(layer_size):
+            node = job(
+                _layer_node,
+                name=f"layer_task_{count:05d}",
+                function_name="layer_task",
+                duration_s=duration_s,
+                output_mb=output_mb,
+            )
+            if previous:
+                node.after(
+                    previous[i % len(previous)], previous[(i + 1) % len(previous)]
+                )
+            layer.append(node)
+            count += 1
+        previous = layer
+
+
+LAYERED_AUTHORED = _layered

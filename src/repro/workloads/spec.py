@@ -30,6 +30,8 @@ class TaskTypeSpec:
     seconds_per_input_mb: float = 0.0
     #: Workers a task of this type occupies.
     cores: int = 1
+    #: Per-attempt failure probability (poison injection; see SimProfile).
+    failure_rate: float = 0.0
 
     def to_profile(self, jitter: float = 0.0) -> SimProfile:
         return SimProfile(
@@ -38,6 +40,7 @@ class TaskTypeSpec:
             output_base_mb=self.output_mb,
             jitter=jitter,
             cores=self.cores,
+            failure_rate=self.failure_rate,
         )
 
 

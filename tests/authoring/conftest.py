@@ -1,0 +1,12 @@
+"""Shared fixtures for the authoring-API tests."""
+
+import pytest
+
+from repro.core.functions import set_current_client
+
+
+@pytest.fixture(autouse=True)
+def clean_client_context():
+    set_current_client(None)
+    yield
+    set_current_client(None)
