@@ -105,6 +105,10 @@ class Config:
     enable_scaling: bool = True
     #: Batch size used when submitting tasks / polling results (§IV-H).
     batch_size: int = 64
+    #: Period (s) at which the durability layer writes a checkpoint snapshot
+    #: of the full serving state (``None`` disables periodic checkpointing).
+    #: Crash recovery restores from the latest checkpoint that validates.
+    checkpoint_interval_s: Optional[float] = None
     #: Path of the historical task database ("" disables persistence).
     history_db_path: str = ""
     #: Random seed for all stochastic components of the simulation substrate.
@@ -159,6 +163,8 @@ class Config:
         ):
             if value <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ConfigurationError("checkpoint_interval_s must be positive")
 
     # -------------------------------------------------------------- helpers
     @property

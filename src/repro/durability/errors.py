@@ -1,0 +1,46 @@
+"""Typed errors of the durability subsystem."""
+
+from __future__ import annotations
+
+__all__ = [
+    "OrchestratorCrashed",
+    "SnapshotCorruptError",
+    "SnapshotError",
+    "SnapshotStateMismatch",
+    "SnapshotVersionError",
+]
+
+
+class SnapshotError(Exception):
+    """Base class for every snapshot read/write/verify failure.
+
+    Loading a damaged or incompatible snapshot raises a subclass of this —
+    never a bare ``KeyError``/``json.JSONDecodeError`` — so recovery code
+    can catch one type and fall back to an older checkpoint.
+    """
+
+
+class SnapshotCorruptError(SnapshotError):
+    """Torn or tampered snapshot: bad magic, truncated payload, or the
+    embedded SHA-256 checksum does not match the payload bytes."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The snapshot's ``schema_version`` is unknown to this build."""
+
+
+class SnapshotStateMismatch(SnapshotError):
+    """Replay reached the cut but the live state diverged from the captured
+    sections — the snapshot does not describe this run."""
+
+
+class OrchestratorCrashed(RuntimeError):
+    """Raised out of the run loop when an :class:`OrchestratorCrash`
+    timeline entry fires; caught by the recovery driver."""
+
+    def __init__(self, at_s: float, restart_delay_s: float = 0.0) -> None:
+        super().__init__(
+            f"orchestrator crashed at t={at_s:g}s (restart delay {restart_delay_s:g}s)"
+        )
+        self.at_s = at_s
+        self.restart_delay_s = restart_delay_s

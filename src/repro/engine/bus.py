@@ -71,6 +71,27 @@ class EventBus:
         self._any_snapshot = tuple(self._any_handlers)
         return handler
 
+    def unsubscribe_all(self, handler: Handler) -> bool:
+        """Remove an any-event handler; returns False when not subscribed."""
+        try:
+            self._any_handlers.remove(handler)
+        except ValueError:
+            return False
+        self._any_snapshot = tuple(self._any_handlers)
+        return True
+
+    def handler_count(self, event_type: Type[Event] | None = None) -> int:
+        """Number of subscribed handlers (teardown/restore regression hook).
+
+        With ``event_type``, counts that type's handlers only; without,
+        counts every type-specific handler plus the any-event handlers.
+        """
+        if event_type is not None:
+            return len(self._handlers.get(event_type, []))
+        return len(self._any_handlers) + sum(
+            len(handlers) for handlers in self._handlers.values()
+        )
+
     def unsubscribe(self, event_type: Type[Event], handler: Handler) -> bool:
         """Remove a handler; returns False when it was not subscribed."""
         handlers = self._handlers.get(event_type, [])

@@ -174,6 +174,12 @@ class SimulatedFabric(ExecutionFabric):
         # while the kernel runs out of other events.
         if self.faas_client.queued_requests and self.kernel.pending_events == 0:
             self.faas_client.flush()
+        if self.kernel.pending_events == 0 and self._outstanding == 0:
+            # Quiescent: only daemon housekeeping remains in the queue.
+            # Stepping now would warp the clock across the idle gap before
+            # the pump has had a chance to dispatch work (most visibly at
+            # run start, when nothing is scheduled yet).
+            return self.drain_completions()
         self.kernel.step()
         return self.drain_completions()
 

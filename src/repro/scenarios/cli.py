@@ -1,7 +1,7 @@
 """``python -m repro`` — the scenario runner CLI.
 
-Three subcommands, designed so that CI can drive the scenario matrix and
-diff the machine-readable artifacts:
+Subcommands, designed so that CI can drive the scenario matrix and diff the
+machine-readable artifacts:
 
 ``list-scenarios``
     Print the preset registry (name, scheduler, dynamics, description).
@@ -10,15 +10,26 @@ diff the machine-readable artifacts:
     Execute one preset (with optional ``--scheduler`` / ``--dynamics`` /
     ``--seed`` / ``--scale`` overrides) and write ``BENCH_<id>.json`` — a
     byte-stable payload whose determinism digest CI compares across runs.
+    ``--snapshot-at T`` captures a durability snapshot mid-run;
+    ``--restore-from PATH`` replays and verifies one in a fresh process.
 
 ``compare NAME --schedulers dha,heft,locality``
     Run the same scenario once per scheduler and print a comparison table
-    (plus one ``BENCH_*.json`` per run).
+    (plus one ``BENCH_*.json`` per run).  ``--modes`` instead runs the same
+    scenario across engine modes and **exits non-zero** unless their
+    determinism digests are byte-identical.
+
+``check-replay BENCH_A BENCH_B``
+    Compare a ``--snapshot-at`` run's artifact against a ``--restore-from``
+    run's artifact; exits non-zero unless the post-cut event logs (tail
+    digests), determinism digests and metrics all match — the replay proof
+    CI's durability gate rests on.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -127,19 +138,116 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workflows=args.workflows,
         arbitration=args.arbitration,
         workflow_stagger_s=args.stagger,
+        checkpoint_interval_s=args.checkpoint_interval,
     )
-    result = run_scenario(preset, max_wall_time_s=args.max_wall_time)
     scenario_id = _effective_id(
         args.name, args.scheduler, args.dynamics, args.workflows, args.arbitration
     )
+    durability = None
+    if (
+        args.snapshot_at is not None
+        or args.restore_from is not None
+        or args.checkpoint_dir is not None
+    ):
+        from repro.durability import DurabilityOptions
+
+        if args.snapshot_at is not None and args.restore_from is not None:
+            print("error: --snapshot-at and --restore-from are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        snapshot_path = args.snapshot_path
+        if args.snapshot_at is not None and snapshot_path is None:
+            snapshot_path = str(Path(args.out) / f"SNAP_{scenario_id}.snap")
+        durability = DurabilityOptions(
+            snapshot_at=args.snapshot_at,
+            snapshot_path=snapshot_path,
+            restore_from=args.restore_from,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        if args.restore_from is not None:
+            # The restored run writes its own artifact next to the capture
+            # run's so check-replay can compare the two.
+            scenario_id += "-restored"
+    result = run_scenario(
+        preset, max_wall_time_s=args.max_wall_time, durability=durability
+    )
     path = _write_bench(result, Path(args.out), scenario_id)
     _print_result(result, path)
+    if durability is not None and durability.snapshot_path is not None:
+        print(f"snapshot            : {durability.snapshot_path}")
+    return 0
+
+
+#: Engine-mode override sets whose event digests are byte-identical by
+#: contract.  ``--no-dataplane`` is deliberately absent: FIFO-staging runs
+#: match the *pre-dataplane* engine's digests, not dataplane-enabled ones.
+_MODE_OVERRIDES = {
+    "default": {},
+    "no-vector": {"vectorized": False},
+    "no-columnar": {"columnar": False},
+}
+
+
+def _cmd_check_replay(args: argparse.Namespace) -> int:
+    """Compare a snapshot run's artifact with a restored run's artifact."""
+    try:
+        bench_a = json.loads(Path(args.bench_a).read_text())
+        bench_b = json.loads(Path(args.bench_b).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read artifact: {exc}", file=sys.stderr)
+        return 2
+    failures: List[str] = []
+    snapshot = bench_a.get("durability", {}).get("snapshot")
+    restore = bench_b.get("durability", {}).get("restore")
+    if snapshot is None:
+        failures.append(
+            f"{args.bench_a} has no durability.snapshot section "
+            "(was the run given --snapshot-at?)"
+        )
+    if restore is None:
+        failures.append(
+            f"{args.bench_b} has no durability.restore section "
+            "(was the run given --restore-from?)"
+        )
+    if snapshot is not None and restore is not None:
+        if snapshot["payload_sha256"] != restore["payload_sha256"]:
+            failures.append(
+                "the restored run loaded a different snapshot file "
+                f"({restore['payload_sha256'][:16]}… != {snapshot['payload_sha256'][:16]}…)"
+            )
+        if snapshot["tail_entries"] != restore["tail_entries"]:
+            failures.append(
+                f"post-cut event counts differ: snapshot run logged "
+                f"{snapshot['tail_entries']}, restored run {restore['tail_entries']}"
+            )
+        if snapshot["tail_digest"] != restore["tail_digest"]:
+            failures.append(
+                "post-cut event logs diverge: tail digest "
+                f"{restore['tail_digest'][:16]}… != {snapshot['tail_digest'][:16]}…"
+            )
+    if bench_a.get("determinism_digest") != bench_b.get("determinism_digest"):
+        failures.append("full-run determinism digests differ")
+    if bench_a.get("metrics") != bench_b.get("metrics"):
+        failures.append("end-of-run metrics differ")
+    if failures:
+        print(f"replay check FAILED ({args.bench_a} vs {args.bench_b}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"replay check OK: cut at {restore['verified_at_s']:g}s, "
+        f"{restore['replayed_entries']} events replayed + verified, "
+        f"{restore['tail_entries']} tail events byte-identical "
+        f"(digest {restore['tail_digest'][:16]}…)"
+    )
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     preset = get_scenario(args.name)
     preset = resolve_dynamics(args.dynamics, preset)
+    if args.modes is not None:
+        return _compare_modes(args, preset)
     if args.arbitrations is not None:
         return _compare_arbitrations(args, preset)
     schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
@@ -173,6 +281,58 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"{result.retries:>8} {result.rescheduled_tasks:>8} "
             f"{result.mean_utilization_pct:>7.1f} {result.failed_tasks:>7}{marker}"
         )
+    return 0
+
+
+def _compare_modes(args: argparse.Namespace, preset) -> int:
+    """``compare NAME --modes default,no-vector,no-columnar`` — digest gate.
+
+    Every listed engine mode must produce a byte-identical determinism
+    digest; any divergence makes the command exit 1 so CI can gate on it.
+    """
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    if not modes:
+        print("error: --modes needs at least one mode", file=sys.stderr)
+        return 2
+    unknown = [m for m in modes if m not in _MODE_OVERRIDES]
+    if unknown:
+        print(
+            f"error: unknown mode(s) {', '.join(unknown)}; expected a subset of "
+            f"{', '.join(_MODE_OVERRIDES)} (no-dataplane runs are digest-compatible "
+            "with the pre-dataplane engine, not with dataplane runs, so they "
+            "cannot join this gate)",
+            file=sys.stderr,
+        )
+        return 2
+    results: List[ScenarioResult] = []
+    for mode in modes:
+        spec = preset.with_overrides(
+            seed=args.seed, workflows=args.workflows, **_MODE_OVERRIDES[mode]
+        )
+        result = run_scenario(spec, max_wall_time_s=args.max_wall_time)
+        scenario_id = _effective_id(args.name, None, args.dynamics, args.workflows)
+        if mode != "default":
+            scenario_id += f"-{mode.replace('-', '')}"
+        _write_bench(result, Path(args.out), scenario_id)
+        results.append(result)
+
+    print(f"scenario: {args.name}   seed: {results[0].seed}")
+    print(f"{'MODE':<14} {'MAKESPAN':>10} {'COMPLETED':>10}  DIGEST")
+    baseline = results[0].determinism_digest
+    mismatched = False
+    for mode, result in zip(modes, results):
+        match = result.determinism_digest == baseline
+        mismatched |= not match
+        marker = "" if match else "  <-- DIVERGES"
+        print(
+            f"{mode:<14} {result.makespan_s:>9.1f}s {result.completed_tasks:>10}  "
+            f"{result.determinism_digest[:16]}…{marker}"
+        )
+    if mismatched:
+        print("mode digests DIFFER — the engine paths are not byte-equivalent",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(modes)} mode digests identical")
     return 0
 
 
@@ -265,6 +425,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cross-workflow arbitration policy (multi-workflow runs)")
     run.add_argument("--stagger", type=float, default=None,
                      help="arrival stagger between consecutive workflows (sim seconds)")
+    run.add_argument("--snapshot-at", type=float, default=None,
+                     help="capture a durability snapshot at this simulated time "
+                          "(written to --snapshot-path, default SNAP_<id>.snap "
+                          "under --out)")
+    run.add_argument("--snapshot-path", default=None,
+                     help="file the --snapshot-at snapshot is written to")
+    run.add_argument("--restore-from", default=None,
+                     help="replay from t=0, verify the full serving state against "
+                          "this snapshot at its cut, and continue — the artifact "
+                          "gets a '-restored' id suffix for check-replay")
+    run.add_argument("--checkpoint-interval", type=float, default=None,
+                     help="override the preset's periodic-checkpoint cadence "
+                          "(simulated seconds)")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="directory for periodic ckpt-*.snap files (default: a "
+                          "temporary directory removed after the run)")
     run.add_argument("--out", default=".", help="directory for BENCH_<id>.json (default: cwd)")
     run.add_argument("--max-wall-time", type=float, default=600.0,
                      help="wall-clock budget for the run (seconds)")
@@ -289,10 +465,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated arbitration policies to compare "
                               "(e.g. fifo,fair_share,priority) instead of schedulers; "
                               "needs a multi-workflow preset or --workflows >= 2")
+    compare.add_argument("--modes", default=None,
+                         help="comma-separated engine modes to digest-gate "
+                              "(subset of default,no-vector,no-columnar); exits "
+                              "non-zero unless every mode's determinism digest "
+                              "is byte-identical")
     compare.add_argument("--out", default=".", help="directory for BENCH artifacts")
     compare.add_argument("--max-wall-time", type=float, default=600.0,
                          help="wall-clock budget per run (seconds)")
     compare.set_defaults(func=_cmd_compare)
+
+    check = sub.add_parser(
+        "check-replay",
+        help="verify a --restore-from artifact against its --snapshot-at artifact",
+    )
+    check.add_argument("bench_a", help="BENCH artifact of the --snapshot-at run")
+    check.add_argument("bench_b", help="BENCH artifact of the --restore-from run")
+    check.set_defaults(func=_cmd_check_replay)
     return parser
 
 

@@ -47,6 +47,7 @@ __all__ = [
     "CrashRejoinCycle",
     "DynamicsInjector",
     "DynamicsSpec",
+    "OrchestratorCrash",
     "TimelineEvent",
 ]
 
@@ -182,6 +183,37 @@ class CrashRejoinCycle:
 
 
 @dataclass(frozen=True)
+class OrchestratorCrash:
+    """The orchestrator *itself* dies at ``at_s`` and restarts later.
+
+    Unlike endpoint crashes, this tears down the whole control plane: the
+    run loop aborts with
+    :class:`~repro.durability.errors.OrchestratorCrashed`, and the recovery
+    driver restores from the latest valid periodic checkpoint (replaying
+    deterministically to the cut) before resuming.  ``restart_delay_s``
+    models how long the replacement process takes to come up; it is reported
+    as recovery downtime in the result's durability payload rather than
+    shifting simulated time, so the final event log stays byte-identical to
+    an uninterrupted run.
+    """
+
+    at_s: float
+    restart_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("at_s must be non-negative")
+        if self.restart_delay_s < 0:
+            raise ValueError("restart_delay_s must be non-negative")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "at_s": round(float(self.at_s), 6),
+            "restart_delay_s": round(float(self.restart_delay_s), 6),
+        }
+
+
+@dataclass(frozen=True)
 class DynamicsSpec:
     """Declarative description of a scenario's dynamics.
 
@@ -193,6 +225,9 @@ class DynamicsSpec:
     scripted: Tuple[TimelineEvent, ...] = ()
     churn: Optional[ChurnProcess] = None
     crashes: Optional[CrashRejoinCycle] = None
+    #: Orchestrator (control-plane) crashes, handled by the durability
+    #: layer's recovery driver — not part of the endpoint timeline.
+    orchestrator: Tuple[OrchestratorCrash, ...] = ()
     #: Endpoints the stochastic processes may touch ("" = all).
     target_endpoints: Tuple[str, ...] = ()
     #: Horizon (simulated seconds) the stochastic processes fill.
@@ -200,7 +235,12 @@ class DynamicsSpec:
 
     @property
     def is_empty(self) -> bool:
-        return not self.scripted and self.churn is None and self.crashes is None
+        return (
+            not self.scripted
+            and self.churn is None
+            and self.crashes is None
+            and not self.orchestrator
+        )
 
     def compile(
         self, endpoints: Sequence[str], rng: np.random.Generator

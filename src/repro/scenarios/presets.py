@@ -17,6 +17,7 @@ from repro.scenarios.dynamics import (
     ChurnProcess,
     CrashRejoinCycle,
     DynamicsSpec,
+    OrchestratorCrash,
     TimelineEvent,
 )
 from repro.scenarios.spec import EndpointSpec, ScenarioSpec, WorkloadSpec
@@ -38,7 +39,9 @@ _TRIO = (
     EndpointSpec(name="lab", cluster="lab", workers=8, max_workers=16),
 )
 
-_CHURN = ChurnProcess(mean_interval_s=45.0, max_delta_workers=6, start_s=15.0)
+# Tuned so churn lands inside even the shortest preset makespans (~20 s):
+# runs start at t=0, so a first event beyond the makespan simply never fires.
+_CHURN = ChurnProcess(mean_interval_s=20.0, max_delta_workers=6, start_s=8.0)
 
 
 def standard_dynamics(kind: str) -> DynamicsSpec:
@@ -280,6 +283,26 @@ def _build_registry() -> Dict[str, ScenarioSpec]:
             arbitration="priority",
             workflow_stagger_s=5.0,
             dynamics=standard_dynamics("churn"),
+        ),
+        ScenarioSpec(
+            name="orch-crash-storm",
+            description="The orchestrator itself dies mid-storm: three tenants "
+                        "under worker churn, periodic 10 s checkpoints, a full "
+                        "teardown at t=25 s and recovery from the latest valid "
+                        "snapshot after 10 s of downtime",
+            workload=WorkloadSpec(kind="layered", task_count=90, duration_s=3.0,
+                                  output_mb=2.0, layer_width=18),
+            topology=_TRIO,
+            scheduler="DHA",
+            workflows=3,
+            arbitration="fair_share",
+            workflow_stagger_s=8.0,
+            checkpoint_interval_s=10.0,
+            dynamics=DynamicsSpec(
+                churn=_CHURN,
+                orchestrator=(OrchestratorCrash(at_s=25.0, restart_delay_s=10.0),),
+                horizon_s=400.0,
+            ),
         ),
         # ------------------------------------------------ authoring zoo
         ScenarioSpec(

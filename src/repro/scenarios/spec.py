@@ -334,6 +334,10 @@ class ScenarioSpec:
     workflow_stagger_s: float = 0.0
     #: Fair-share weights per workflow (padded with 1.0; empty = all equal).
     tenant_weights: Tuple[float, ...] = ()
+    #: Periodic-checkpoint cadence (simulated seconds) of the durability
+    #: layer; ``None`` disables checkpointing.  Orchestrator-crash recovery
+    #: restores from the latest checkpoint that validates.
+    checkpoint_interval_s: Optional[float] = None
 
     def with_overrides(
         self,
@@ -348,9 +352,12 @@ class ScenarioSpec:
         workflows: Optional[int] = None,
         arbitration: Optional[str] = None,
         workflow_stagger_s: Optional[float] = None,
+        checkpoint_interval_s: Optional[float] = None,
     ) -> "ScenarioSpec":
         """A copy with CLI-level overrides applied."""
         spec = self
+        if checkpoint_interval_s is not None:
+            spec = dataclasses.replace(spec, checkpoint_interval_s=checkpoint_interval_s)
         if vectorized is not None:
             spec = dataclasses.replace(spec, vectorized=vectorized)
         if columnar is not None:
@@ -412,6 +419,10 @@ class ScenarioResult:
     #: Multi-workflow serving report (empty on the single-workflow path):
     #: arbitration policy, fairness, and per-tenant makespan / wait / digest.
     serving: Dict[str, object] = field(default_factory=dict)
+    #: Durability report (empty unless snapshotting / restore / checkpointing
+    #: / orchestrator-crash recovery was engaged): cut positions, tail
+    #: digests, checkpoints written and per-crash recovery accounting.
+    durability: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> str:
         """Canonical, byte-stable JSON payload (sorted keys, fixed floats)."""
@@ -444,6 +455,9 @@ class ScenarioResult:
             # Only multi-workflow runs carry the key, so single-workflow
             # artifacts stay byte-identical to earlier releases.
             payload["serving"] = self.serving
+        if self.durability:
+            # Likewise only durability-engaged runs carry this key.
+            payload["durability"] = self.durability
         return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
 
 
@@ -465,17 +479,55 @@ def run_scenario(
     *,
     seed: Optional[int] = None,
     max_wall_time_s: float = 600.0,
+    durability=None,
 ) -> ScenarioResult:
     """Execute ``spec`` and return its deterministic result record.
 
     ``spec.workflows > 1`` runs N instances of the workload concurrently
     through the multi-workflow serving layer; 1 keeps the classic
     single-workflow path byte-identically.
+
+    ``durability`` (a :class:`~repro.durability.runtime.DurabilityOptions`)
+    arms snapshot capture, restore-with-verification replay, or periodic
+    checkpointing; a spec with :attr:`ScenarioSpec.checkpoint_interval_s` or
+    orchestrator-crash dynamics engages the durability driver on its own.
+    Runs without any of these keep the classic path — and its artifacts —
+    byte-identically.
     """
     seed = spec.seed if seed is None else seed
+    crashes = tuple(
+        sorted(spec.dynamics.orchestrator, key=lambda c: (c.at_s, c.restart_delay_s))
+    )
+    engaged = (
+        (durability is not None and durability.engaged)
+        or bool(crashes)
+        or spec.checkpoint_interval_s is not None
+    )
+    if not engaged:
+        result, _ = _run_attempt(spec, seed, max_wall_time_s, None)
+        return result
+    return _run_durable(spec, seed, max_wall_time_s, durability, crashes)
+
+
+def _run_attempt(
+    spec: ScenarioSpec,
+    seed: int,
+    max_wall_time_s: float,
+    controller_factory,
+):
+    """One full execution of ``spec`` (the unit crash recovery retries)."""
+    if controller_factory is not None:
+        # Durability snapshots pin raw task/file/ticket ids, which come from
+        # process-global counters: restart them so an in-process replay
+        # produces the same ids a fresh process would.
+        from repro.durability.runtime import reset_global_id_counters
+
+        reset_global_id_counters()
     env, config = _build_environment(spec, seed)
     if spec.workflows > 1:
-        return _run_serving_scenario(spec, seed, env, config, max_wall_time_s)
+        return _run_serving_scenario(
+            spec, seed, env, config, max_wall_time_s, controller_factory
+        )
 
     client = env.make_client(config)
     if spec.seed_knowledge:
@@ -491,10 +543,120 @@ def run_scenario(
     injector = DynamicsInjector(env, client.engine)
     injector.install(timeline)
 
+    controller = None
+    if controller_factory is not None:
+        # Fixed call-site: the controller's kernel events must be scheduled
+        # at the same sequence positions in capture and restore runs.
+        from repro.durability.runtime import RunContext
+
+        ctx = RunContext(env, spec, seed)
+        ctx.engines[""] = client.engine
+        ctx.recorders[""] = recorder
+        ctx.data_manager = client.data_manager
+        controller = controller_factory(ctx)
+        controller.install()
+
     info = spec.workload.build(client)
     client.run(max_wall_time_s=max_wall_time_s)
 
-    return _collect_result(spec, seed, client, info, timeline, injector, recorder)
+    result = _collect_result(spec, seed, client, info, timeline, injector, recorder)
+    return result, controller
+
+
+def _run_durable(
+    spec: ScenarioSpec,
+    seed: int,
+    max_wall_time_s: float,
+    options,
+    crashes,
+) -> ScenarioResult:
+    """The durability driver: snapshot / restore / checkpoint / recovery."""
+    import shutil
+    import tempfile
+
+    from repro.durability.errors import OrchestratorCrashed, SnapshotError
+    from repro.durability.runtime import (
+        DurabilityController,
+        DurabilityOptions,
+        load_restore_snapshot,
+    )
+    from repro.durability.snapshot import latest_valid_snapshot
+
+    options = options or DurabilityOptions()
+    if options.snapshot_at is not None and options.restore_from is not None:
+        raise SnapshotError(
+            "snapshot capture and restore are mutually exclusive in one run"
+        )
+    restore = (
+        load_restore_snapshot(options.restore_from, spec, seed)
+        if options.restore_from is not None
+        else None
+    )
+    checkpoint_dir = options.checkpoint_dir
+    cleanup_dir = None
+    if spec.checkpoint_interval_s is not None and checkpoint_dir is None:
+        # Crash recovery needs somewhere durable-for-the-run to read
+        # checkpoints back from; without a caller-provided directory the
+        # files are transient and removed after the run.
+        cleanup_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+        checkpoint_dir = cleanup_dir
+
+    fired = 0
+    recovery: List[Dict[str, object]] = []
+    skipped: List[str] = []
+    try:
+        while True:
+
+            def factory(ctx, _restore=restore, _fired=fired):
+                return DurabilityController(
+                    ctx,
+                    snapshot_at=options.snapshot_at,
+                    snapshot_path=options.snapshot_path,
+                    checkpoint_interval_s=spec.checkpoint_interval_s,
+                    checkpoint_dir=checkpoint_dir,
+                    restore=_restore,
+                    crashes=crashes,
+                    crashes_fired=_fired,
+                )
+
+            try:
+                result, controller = _run_attempt(spec, seed, max_wall_time_s, factory)
+                break
+            except OrchestratorCrashed as crash:
+                fired += 1
+                path = snapshot = None
+                newly_skipped: List[str] = []
+                if checkpoint_dir is not None:
+                    path, snapshot, newly_skipped = latest_valid_snapshot(checkpoint_dir)
+                skipped.extend(newly_skipped)
+                restore = snapshot
+                resumed_from = float(snapshot.cut["time_s"]) if snapshot else 0.0
+                recovery.append(
+                    {
+                        "at_s": round(crash.at_s, 6),
+                        "restart_delay_s": round(crash.restart_delay_s, 6),
+                        "resumed_from_s": round(resumed_from, 6),
+                        "lost_progress_s": round(max(0.0, crash.at_s - resumed_from), 6),
+                        "downtime_s": round(
+                            crash.restart_delay_s + max(0.0, crash.at_s - resumed_from),
+                            6,
+                        ),
+                        "checkpoint": path.name if path is not None else "",
+                    }
+                )
+    finally:
+        if cleanup_dir is not None:
+            shutil.rmtree(cleanup_dir, ignore_errors=True)
+
+    payload = controller.finish()
+    if crashes:
+        payload["recovery"] = {
+            "attempts": fired + 1,
+            "crashes": recovery,
+            "checkpoints_skipped": sorted(set(skipped)),
+        }
+    result.durability = payload
+    return result
 
 
 def _build_environment(spec: ScenarioSpec, seed: int):
@@ -539,6 +701,7 @@ def _build_environment(spec: ScenarioSpec, seed: int):
         max_task_retries=spec.max_task_retries,
         endpoint_sync_interval_s=spec.endpoint_sync_interval_s,
         rescheduling_interval_s=spec.rescheduling_interval_s,
+        checkpoint_interval_s=spec.checkpoint_interval_s,
         random_seed=seed,
     )
     return env, config
@@ -550,7 +713,8 @@ def _run_serving_scenario(
     env: SimulationEnvironment,
     config,
     max_wall_time_s: float,
-) -> ScenarioResult:
+    controller_factory=None,
+):
     """N instances of the workload through the multi-workflow serving layer."""
     from repro.serving import WorkflowManager
 
@@ -597,7 +761,31 @@ def _run_serving_scenario(
     injector = DynamicsInjector(env, manager)
     injector.install(timeline)
 
-    manager.run(max_wall_time_s=max_wall_time_s)
+    controller = None
+    if controller_factory is not None:
+        # Same fixed call-site rule as the single-workflow path: controller
+        # events are armed after the dynamics timeline, before the run.
+        from repro.durability.errors import OrchestratorCrashed
+        from repro.durability.runtime import RunContext
+
+        ctx = RunContext(env, spec, seed)
+        for handle in manager.workflows():
+            ctx.engines[handle.workflow_id] = handle.engine
+            ctx.recorders[handle.workflow_id] = recorders[handle.workflow_id]
+        ctx.data_manager = manager.data_manager
+        ctx.manager = manager
+        controller = controller_factory(ctx)
+        controller.install()
+        try:
+            manager.run(max_wall_time_s=max_wall_time_s)
+        except OrchestratorCrashed:
+            # The crashed attempt's manager must release its shared-kernel
+            # footprint (arrival events, control-bus subscriptions) before
+            # the recovery driver builds its successor.
+            manager.shutdown()
+            raise
+    else:
+        manager.run(max_wall_time_s=max_wall_time_s)
     serving = manager.summary()
 
     digest = hashlib.sha256()
@@ -644,7 +832,7 @@ def _run_serving_scenario(
     if hasattr(manager.data_manager, "stats_dict"):
         dataplane_stats = manager.data_manager.stats_dict()
 
-    return ScenarioResult(
+    result = ScenarioResult(
         scenario=spec.name,
         scheduler=spec.scheduler,
         seed=seed,
@@ -670,6 +858,7 @@ def _run_serving_scenario(
             "workflows": workflow_payload,
         },
     )
+    return result, controller
 
 
 def _collect_result(

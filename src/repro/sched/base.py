@@ -386,6 +386,21 @@ class Scheduler(ABC):
             if self._vectors is not None:
                 self._vectors.add_claim(endpoint, -1)
 
+    def transfer_claim(self, old: Optional[str], new: str) -> None:
+        """Move one undispatched-task claim between endpoints.
+
+        The failure coordinator re-places tasks by publishing ``TaskPlaced``
+        directly, outside any scheduling pass; the claim the original
+        placement took must follow the task or the old endpoint stays
+        claimed forever and the eventual dispatch steals a claim the new
+        endpoint never took.  ``old=None`` covers re-placement of a task
+        whose dispatch already released its claim (execution-failure retry):
+        only the new claim is taken, balancing the next dispatch's release.
+        """
+        if old is not None:
+            self.release_claim(old)
+        self.claim(new, 1)
+
     def claimed(self, endpoint: str) -> int:
         return self._claims.get(endpoint, 0)
 

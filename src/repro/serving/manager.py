@@ -134,6 +134,8 @@ class WorkflowHandle:
         self.builder = builder
         self.started = False
         self.finished = False
+        self.paused = False
+        self.cancelled = False
 
     # -------------------------------------------------- client-like facade
     def submit(self, fn: FederatedFunction, args: tuple, kwargs: Dict[str, object]):
@@ -146,6 +148,33 @@ class WorkflowHandle:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         set_current_client(None)
+        if exc_type is not None:
+            # An aborted composition block must not leave a half-built
+            # workflow pending: cancel so its arrival event never fires it.
+            self.cancel()
+
+    # ------------------------------------------------------------ lifecycle
+    def pause(self) -> None:
+        """Stop pumping this workflow (in-flight fabric tasks still drain)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+
+    def cancel(self) -> None:
+        """Cancel this workflow.
+
+        Before arrival: the workflow never activates (its pending arrival
+        event becomes a no-op).  Mid-run: the manager stops placing and
+        dispatching its work; tasks already on the fabric drain normally.
+        Idempotent, and safe to call on a finished workflow.
+        """
+        if self.cancelled or self.finished:
+            return
+        self.cancelled = True
+        if self.started:
+            self.engine.finalize()
+        self.finished = True
 
     @property
     def fabric(self) -> ExecutionFabric:
@@ -263,21 +292,26 @@ class WorkflowManager:
 
         # Dynamics: forward to tenants first (their failure coordinators
         # re-place stranded tasks), then run the shared plane's quarantine —
-        # the same relative order the single-workflow bus wiring has.
+        # the same relative order the single-workflow bus wiring has.  Every
+        # subscription is recorded so :meth:`shutdown` can release it.
+        self._subscriptions: List = []
         for event_type in _DYNAMICS_EVENTS:
             self.bus.subscribe(event_type, self._forward_dynamics)
+            self._subscriptions.append((event_type, self._forward_dynamics))
         if isinstance(self.data_manager, DataPlane):
             plane = self.data_manager
-            self.bus.subscribe(
-                EndpointCrashed, lambda e: plane.on_endpoint_crashed(e.endpoint)
-            )
-            self.bus.subscribe(
-                EndpointRejoined, lambda e: plane.on_endpoint_rejoined(e.endpoint)
-            )
+            on_crashed = lambda e: plane.on_endpoint_crashed(e.endpoint)  # noqa: E731
+            on_rejoined = lambda e: plane.on_endpoint_rejoined(e.endpoint)  # noqa: E731
+            self.bus.subscribe(EndpointCrashed, on_crashed)
+            self.bus.subscribe(EndpointRejoined, on_rejoined)
+            self._subscriptions.append((EndpointCrashed, on_crashed))
+            self._subscriptions.append((EndpointRejoined, on_rejoined))
 
         self._workflows: Dict[str, WorkflowHandle] = {}
         self._ordered: List[WorkflowHandle] = []
+        self._arrival_handles: List = []
         self._running = False
+        self._shut_down = False
         self._last_scaling_check = 0.0
         self._started_at: Optional[float] = None
         self._finished_at: Optional[float] = None
@@ -345,12 +379,15 @@ class WorkflowManager:
         if kernel is not None and arrival_s > 0:
             # A real (non-daemon) kernel event, like the dynamics layer's
             # timeline: the simulation advances to the arrival even when the
-            # already-running workflows drain first.
-            kernel.schedule_at(
-                arrival_s,
-                self._activate,
-                handle,
-                label=f"workflow-arrival-{workflow_id}",
+            # already-running workflows drain first.  The handle is kept so
+            # :meth:`shutdown` can cancel arrivals a discarded manager owns.
+            self._arrival_handles.append(
+                kernel.schedule_at(
+                    arrival_s,
+                    self._activate,
+                    handle,
+                    label=f"workflow-arrival-{workflow_id}",
+                )
             )
         return handle
 
@@ -431,9 +468,30 @@ class WorkflowManager:
         self._finished_at = self.clock.now()
         self.fabric.flush()
 
+    # ------------------------------------------------------------- teardown
+    def shutdown(self) -> None:
+        """Release this manager's shared-kernel footprint (idempotent).
+
+        Cancels every pending workflow-arrival event and unsubscribes the
+        control bus's dynamics/dataplane handlers, so a manager discarded
+        mid-run — orchestrator crash recovery, an aborted ``with`` block, or
+        a restore replacing it — never double-fires handlers or activates
+        workflows alongside its successor.
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._running = False
+        for event_handle in self._arrival_handles:
+            event_handle.cancel()
+        self._arrival_handles.clear()
+        for event_type, handler in self._subscriptions:
+            self.bus.unsubscribe(event_type, handler)
+        self._subscriptions.clear()
+
     # ------------------------------------------------------------- internals
     def _activate(self, handle: WorkflowHandle) -> None:
-        if handle.started:
+        if handle.started or handle.cancelled or self._shut_down:
             return
         handle.started = True
         if handle.builder is not None:
@@ -450,13 +508,15 @@ class WorkflowManager:
         activated = False
         now = self.clock.now()
         for handle in self._ordered:
-            if not handle.started and handle.arrival_s <= now:
+            if not handle.started and not handle.cancelled and handle.arrival_s <= now:
                 self._activate(handle)
                 activated = True
         return activated
 
     def _active_workflows(self) -> List[WorkflowHandle]:
-        return [h for h in self._ordered if h.started and not h.finished]
+        return [
+            h for h in self._ordered if h.started and not h.finished and not h.paused
+        ]
 
     def _all_complete(self) -> bool:
         return all(h.finished for h in self._ordered)

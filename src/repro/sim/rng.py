@@ -4,10 +4,17 @@ Every stochastic component (task durations, queue delays, transfer jitter,
 failure injection) draws from its own named stream derived from a single
 experiment seed.  This keeps experiments reproducible and lets individual
 components be re-seeded in tests without perturbing the others.
+
+The registry also supports state capture: :meth:`RngRegistry.get_state`
+returns a JSON-safe dict of every named stream's bit-generator state, and
+:meth:`RngRegistry.set_state` restores it, so a stream restored from a
+snapshot emits the identical tail sequence the uninterrupted stream would
+have (the durability layer's replay proof depends on this).
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Dict
 
 import numpy as np
@@ -35,12 +42,44 @@ class RngRegistry:
             self._streams[name] = np.random.default_rng(child)
         return self._streams[name]
 
+    def stream_names(self) -> list:
+        """Names of every stream created so far, sorted."""
+        return sorted(self._streams)
+
     def reset(self, name: str | None = None) -> None:
         """Forget one stream (or all of them) so it is re-created on next use."""
         if name is None:
             self._streams.clear()
         else:
             self._streams.pop(name, None)
+
+    # ------------------------------------------------------------- snapshots
+    def get_state(self, name: str | None = None) -> Dict[str, object]:
+        """Bit-generator state of one stream, or of every named stream.
+
+        The returned dict contains only JSON-native values (NumPy's PCG64
+        state is plain Python ints), so it can be embedded in a snapshot
+        payload verbatim.
+        """
+        if name is not None:
+            return copy.deepcopy(self.stream(name).bit_generator.state)
+        return {
+            stream: copy.deepcopy(self._streams[stream].bit_generator.state)
+            for stream in sorted(self._streams)
+        }
+
+    def set_state(self, state: Dict[str, object], name: str | None = None) -> None:
+        """Restore state captured by :meth:`get_state`.
+
+        With ``name``, ``state`` is one stream's bit-generator state;
+        without, it maps stream names to states (streams are created on
+        demand, so restoring into a fresh registry works).
+        """
+        if name is not None:
+            self.stream(name).bit_generator.state = copy.deepcopy(state)
+            return
+        for stream, stream_state in state.items():
+            self.stream(stream).bit_generator.state = copy.deepcopy(stream_state)
 
 
 def _stable_hash(name: str) -> int:

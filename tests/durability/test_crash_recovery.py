@@ -1,0 +1,132 @@
+"""Orchestrator crashes, periodic checkpoints and recovery fallbacks."""
+
+import dataclasses
+
+import pytest
+
+from repro.durability import DurabilityOptions
+from repro.durability.snapshot import checkpoint_path, read_snapshot
+from repro.scenarios.dynamics import DynamicsSpec, OrchestratorCrash
+from repro.scenarios.presets import get_scenario
+from repro.scenarios.spec import run_scenario
+
+
+def _crash_spec(at_s=12.0, restart_delay_s=5.0, interval_s=5.0):
+    """ci-smoke with a mid-run orchestrator crash and periodic checkpoints."""
+    base = get_scenario("ci-smoke")
+    return dataclasses.replace(
+        base,
+        checkpoint_interval_s=interval_s,
+        dynamics=DynamicsSpec(
+            orchestrator=(OrchestratorCrash(at_s=at_s, restart_delay_s=restart_delay_s),)
+        ),
+    )
+
+
+class TestOrchestratorCrash:
+    def test_crash_recovers_and_completes(self):
+        result = run_scenario(_crash_spec())
+        recovery = result.durability["recovery"]
+        assert recovery["attempts"] == 2
+        (crash,) = recovery["crashes"]
+        assert crash["at_s"] == 12.0
+        assert crash["restart_delay_s"] == 5.0
+        assert crash["checkpoint"] == "ckpt-00002.snap"  # t=10, the latest
+        assert crash["resumed_from_s"] == 10.0
+        assert crash["lost_progress_s"] == 2.0
+        assert crash["downtime_s"] == 7.0
+        assert result.completed_tasks == result.total_tasks
+
+    def test_crashed_run_matches_over_two_executions(self):
+        first = run_scenario(_crash_spec())
+        second = run_scenario(_crash_spec())
+        assert first.to_json() == second.to_json()
+
+    def test_crash_without_checkpoints_replays_from_scratch(self):
+        spec = dataclasses.replace(_crash_spec(), checkpoint_interval_s=None)
+        result = run_scenario(spec)
+        (crash,) = result.durability["recovery"]["crashes"]
+        assert crash["checkpoint"] == ""
+        assert crash["resumed_from_s"] == 0.0
+        assert crash["lost_progress_s"] == 12.0
+        assert result.completed_tasks == result.total_tasks
+
+    def test_multiple_crashes_each_recover_once(self):
+        spec = dataclasses.replace(
+            _crash_spec(),
+            dynamics=DynamicsSpec(
+                orchestrator=(
+                    OrchestratorCrash(at_s=8.0, restart_delay_s=2.0),
+                    OrchestratorCrash(at_s=16.0, restart_delay_s=2.0),
+                )
+            ),
+        )
+        result = run_scenario(spec)
+        recovery = result.durability["recovery"]
+        assert recovery["attempts"] == 3
+        assert [c["at_s"] for c in recovery["crashes"]] == [8.0, 16.0]
+        assert result.completed_tasks == result.total_tasks
+
+    def test_preset_is_deterministic(self):
+        first = run_scenario(get_scenario("orch-crash-storm"))
+        second = run_scenario(get_scenario("orch-crash-storm"))
+        assert first.to_json() == second.to_json()
+        assert first.durability["recovery"]["attempts"] == 2
+
+
+class TestCheckpointFallback:
+    def test_without_corruption_recovers_from_the_newest(self, tmp_path):
+        result = run_scenario(
+            _crash_spec(), durability=DurabilityOptions(checkpoint_dir=str(tmp_path))
+        )
+        (crash,) = result.durability["recovery"]["crashes"]
+        assert crash["checkpoint"] == "ckpt-00002.snap"
+        assert result.durability["recovery"]["checkpoints_skipped"] == []
+
+    def test_corrupt_newest_checkpoint_falls_back(self, tmp_path, monkeypatch):
+        # Simulate a torn write of the newest checkpoint: every ckpt-2 file
+        # lands on disk truncated, so recovery must fall back to ckpt-1.
+        from repro.durability import runtime
+
+        real_write = runtime.write_snapshot
+
+        def torn_write(snapshot, path):
+            written = real_write(snapshot, path)
+            if written.name == "ckpt-00002.snap":
+                written.write_bytes(written.read_bytes()[:100])
+            return written
+
+        monkeypatch.setattr(runtime, "write_snapshot", torn_write)
+        result = run_scenario(
+            _crash_spec(), durability=DurabilityOptions(checkpoint_dir=str(tmp_path))
+        )
+        recovery = result.durability["recovery"]
+        (crash,) = recovery["crashes"]
+        assert crash["checkpoint"] == "ckpt-00001.snap"  # fell back to t=5
+        assert crash["resumed_from_s"] == 5.0
+        assert crash["lost_progress_s"] == 7.0
+        assert "ckpt-00002.snap" in recovery["checkpoints_skipped"]
+        assert result.completed_tasks == result.total_tasks
+
+    def test_checkpoint_files_validate(self, tmp_path):
+        spec = dataclasses.replace(
+            get_scenario("ci-smoke"), checkpoint_interval_s=5.0
+        )
+        result = run_scenario(
+            spec, durability=DurabilityOptions(checkpoint_dir=str(tmp_path))
+        )
+        written = result.durability["checkpoints"]["written"]
+        assert written >= 3
+        for index in range(1, written + 1):
+            snapshot = read_snapshot(checkpoint_path(tmp_path, index))
+            assert snapshot.cut["kind"] == "ckpt"
+            assert snapshot.cut["index"] == index
+            assert snapshot.cut["time_s"] == pytest.approx(5.0 * index)
+
+    def test_temporary_checkpoint_dir_is_cleaned_up(self, tmp_path, monkeypatch):
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        result = run_scenario(_crash_spec())
+        assert result.completed_tasks == result.total_tasks
+        assert list(tmp_path.iterdir()) == []
