@@ -108,6 +108,10 @@ class DataManager:
         self._active_file_transfers: Dict[Tuple[str, str], _QueuedTransfer] = {}
         self._tickets: Dict[str, StagingTicket] = {}
         self._tickets_by_task: Dict[str, StagingTicket] = {}
+        #: Tickets grouped by workflow namespace, maintained incrementally so
+        #: :meth:`release_namespace` (streaming-tenant retirement) never scans
+        #: every ticket ever issued.
+        self._tickets_by_namespace: Dict[str, List[StagingTicket]] = defaultdict(list)
         #: Tickets created but not yet done — kept as a counter so the
         #: metrics sampler's :meth:`active_staging_tasks` is O(1) instead of
         #: re-scanning every ticket ever issued.
@@ -129,6 +133,18 @@ class DataManager:
     def add_staged_callback(self, callback: StagedCallback) -> None:
         """Register a callback invoked when a ticket finishes (or fails)."""
         self._staged_callbacks.append(callback)
+
+    def remove_staged_callback(self, callback: StagedCallback) -> None:
+        """Unregister a staged callback (a retired tenant's staging coordinator).
+
+        Without this, a long streaming run accumulates one dead callback per
+        all-time tenant on the shared manager and every ticket notification
+        fans out to all of them.
+        """
+        try:
+            self._staged_callbacks.remove(callback)
+        except ValueError:
+            pass
 
     def add_transfer_callback(self, callback: Callable[[TransferResult, int], None]) -> None:
         """Register a callback invoked per transfer attempt result.
@@ -189,6 +205,7 @@ class DataManager:
         )
         self._tickets[ticket.ticket_id] = ticket
         self._tickets_by_task[task_id] = ticket
+        self._tickets_by_namespace[task_namespace(task_id)].append(ticket)
 
         missing = self.missing_files(files, destination)
         if not missing:
@@ -221,6 +238,28 @@ class DataManager:
     def register_output(self, file: RemoteFile, endpoint: str) -> None:
         """Record that ``file`` was produced on ``endpoint``."""
         file.add_location(endpoint)
+
+    # ------------------------------------------------------------- retirement
+    def release_namespace(self, namespace: str) -> int:
+        """Drop a retired workflow's staging records; returns tickets released.
+
+        Called by the serving layer when a streaming tenant retires: every
+        ticket it ever opened (all terminal by then), its per-task indices and
+        its attributed-volume entry are released so live memory stays
+        O(active tenants), not O(all-time tasks).  The aggregate Table IV/V
+        counters are untouched.
+        """
+        tickets = self._tickets_by_namespace.pop(namespace, [])
+        for ticket in tickets:
+            self._tickets.pop(ticket.ticket_id, None)
+            if self._tickets_by_task.get(ticket.task_id) is ticket:
+                del self._tickets_by_task[ticket.task_id]
+            self._release_task_state(ticket.task_id)
+        self.volume_by_namespace_mb.pop(namespace, None)
+        return len(tickets)
+
+    def _release_task_state(self, task_id: str) -> None:
+        """Subclass hook: drop per-task state beyond the ticket indices."""
 
     # -------------------------------------------------------------- internal
     def _pick_source(

@@ -148,6 +148,7 @@ class DataPlane(DataManager):
         )
         self._tickets[ticket.ticket_id] = ticket
         self._tickets_by_task[task_id] = ticket
+        self._tickets_by_namespace[task_namespace(task_id)].append(ticket)
 
         sized = [f for f in files if f.size_mb > 0]
         # Pin every input before tracking: track() enforces the destination
@@ -223,6 +224,10 @@ class DataPlane(DataManager):
 
     def release_task(self, task_id: str) -> None:
         """The task reached a terminal state: its input pins are released."""
+        self.store.release_task(task_id)
+
+    def _release_task_state(self, task_id: str) -> None:
+        """Tenant retirement: make sure no pin of the retired task survives."""
         self.store.release_task(task_id)
 
     # --------------------------------------------------------------- dynamics

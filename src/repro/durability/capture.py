@@ -60,6 +60,8 @@ def capture_sections(ctx) -> Dict[str, object]:
     }
     if ctx.manager is not None:
         sections["serving"] = _capture_serving(ctx.manager)
+    if getattr(ctx, "streaming", None) is not None:
+        sections["streaming"] = _capture_streaming(ctx.streaming)
     return sections
 
 
@@ -189,6 +191,50 @@ def _capture_serving(manager) -> Dict[str, object]:
     if served is not None:
         section["served"] = {wid: int(v) for wid, v in sorted(served.items())}
     return section
+
+
+# ---------------------------------------------------------------- streaming
+def _capture_streaming(service) -> Dict[str, object]:
+    """The open-loop stream's live state at the cut.
+
+    Pins the arrival process position (so the ``arrivals`` RNG stream state
+    and the next scheduled arrival agree), the admission queue contents, and
+    every steady-state counter — a replay that diverges anywhere in the
+    admit/reject/abandon/retire sequence fails verification here.
+    """
+    arrivals = service.arrivals
+    admission = service.admission
+    metrics = service.metrics
+    return {
+        "arrivals": {
+            "emitted": int(arrivals.emitted),
+            "total_emitted": int(arrivals.total_emitted),
+            "next_arrival_s": _r(arrivals.next_arrival_s)
+            if arrivals.next_arrival_s is not None
+            else None,
+            "pending_scripted": int(arrivals._pending_scripted),
+        },
+        "admission": {
+            "pending": [
+                [a.workflow_id, _r(a.arrival_s), _r(a.slo_s), bool(a.scripted)]
+                for a in admission.pending
+            ],
+            "submitted": int(admission.submitted),
+            "admitted": int(admission.admitted),
+            "rejected": int(admission.rejected),
+            "abandoned": int(admission.abandoned),
+            "queue_depth_peak": int(admission.queue_depth_peak),
+        },
+        "active": int(service.active),
+        "active_peak": int(service.active_peak),
+        "retired": int(service.manager.retired_count),
+        "metrics": {
+            "completed": int(metrics.completed),
+            "deadline_misses": int(metrics.deadline_misses),
+            "queue_wait_mean_s": _r(metrics.queue_wait.mean()),
+            "response_mean_s": _r(metrics.response.mean()),
+        },
+    }
 
 
 # ------------------------------------------------------------------- verify

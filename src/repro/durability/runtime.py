@@ -103,6 +103,9 @@ class RunContext:
         self.recorders: Dict[str, object] = {}
         self.data_manager = None
         self.manager = None
+        #: The open-loop :class:`~repro.streaming.service.StreamingService`
+        #: of a streaming attempt (``None`` on batch paths).
+        self.streaming = None
 
 
 class DurabilityController:

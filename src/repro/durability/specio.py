@@ -25,6 +25,7 @@ from repro.scenarios.dynamics import (
     TimelineEvent,
 )
 from repro.scenarios.spec import EndpointSpec, ScenarioSpec, WorkloadSpec
+from repro.streaming.spec import StreamingSpec
 
 __all__ = ["spec_fingerprint_matches", "spec_from_payload", "spec_to_payload"]
 
@@ -56,6 +57,13 @@ def spec_to_payload(spec: ScenarioSpec) -> Dict[str, object]:
     payload["topology"] = [_flat(e) for e in spec.topology]
     payload["dynamics"] = dynamics
     payload["tenant_weights"] = list(spec.tenant_weights)
+    if spec.streaming is not None:
+        streaming = _flat(spec.streaming)
+        streaming["scripted_arrivals"] = list(spec.streaming.scripted_arrivals)
+        streaming["slo_choices"] = list(spec.streaming.slo_choices)
+        payload["streaming"] = streaming
+    else:
+        payload["streaming"] = None
     return payload
 
 
@@ -77,6 +85,13 @@ def spec_from_payload(payload: Dict[str, object]) -> ScenarioSpec:
             horizon_s=float(dyn["horizon_s"]),
         )
         data["tenant_weights"] = tuple(data.get("tenant_weights", ()))
+        streaming = data.pop("streaming", None)
+        if streaming is not None:
+            streaming = dict(streaming)
+            streaming["scripted_arrivals"] = tuple(streaming["scripted_arrivals"])
+            streaming["slo_choices"] = tuple(streaming["slo_choices"])
+            streaming = StreamingSpec(**streaming)
+        data["streaming"] = streaming
         return ScenarioSpec(
             workload=workload, topology=topology, dynamics=dynamics, **data
         )

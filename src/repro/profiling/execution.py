@@ -29,21 +29,29 @@ ModelFactory = Callable[[], object]
 class _FunctionModel:
     """Time + output-size models for one function."""
 
-    def __init__(self, model_factory: ModelFactory) -> None:
+    def __init__(self, model_factory: ModelFactory, max_retained: Optional[int] = None) -> None:
         self.time_model = model_factory()
         self.output_model = model_factory()
         self.samples: List[Tuple[Tuple[float, float, float, float], float, float]] = []
+        self.max_retained = max_retained
+        #: Total observations ever ingested (monotonic; with a bounded
+        #: retention window ``len(samples)`` stops growing but this does not,
+        #: so retraining keeps triggering on fresh observations).
+        self.observed = 0
         self.trained_on = 0
 
     def add(self, features: Tuple[float, float, float, float], time_s: float, output_mb: float) -> None:
         self.samples.append((features, time_s, output_mb))
+        self.observed += 1
+        if self.max_retained is not None and len(self.samples) > self.max_retained:
+            del self.samples[: len(self.samples) - self.max_retained]
 
     @property
     def sample_count(self) -> int:
         return len(self.samples)
 
     def needs_training(self) -> bool:
-        return self.sample_count > self.trained_on
+        return self.observed > self.trained_on
 
     def train(self, max_samples: int = 512) -> None:
         if not self.samples:
@@ -54,7 +62,7 @@ class _FunctionModel:
         outputs = np.array([r[2] for r in rows], dtype=float)
         self.time_model.fit(X, times)
         self.output_model.fit(X, outputs)
-        self.trained_on = self.sample_count
+        self.trained_on = self.observed
 
     def predict_time(self, features: Sequence[float]) -> Optional[float]:
         if self.trained_on == 0:
@@ -107,14 +115,21 @@ class ExecutionProfiler:
         model_factory: Optional[ModelFactory] = None,
         min_samples_to_train: int = 3,
         max_training_samples: int = 512,
+        max_samples_retained: Optional[int] = None,
     ) -> None:
         if min_samples_to_train < 1:
             raise ValueError("min_samples_to_train must be >= 1")
         self._model_factory = model_factory or (
             lambda: RandomForestRegressor(n_estimators=8, max_depth=6)
         )
+        #: Opt-in bounded sample window (streaming runs): keep only the last N
+        #: observations per function so millions of tasks cannot grow the
+        #: profiler without bound.  ``None`` (the default) retains everything
+        #: — the historical behavior, whose running-mean warm-up predictions
+        #: existing preset digests depend on.
+        self.max_samples_retained = max_samples_retained
         self._models: Dict[str, _FunctionModel] = defaultdict(
-            lambda: _FunctionModel(self._model_factory)
+            lambda: _FunctionModel(self._model_factory, self.max_samples_retained)
         )
         self.min_samples_to_train = min_samples_to_train
         self.max_training_samples = max_training_samples

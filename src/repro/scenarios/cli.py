@@ -99,6 +99,16 @@ def _print_result(result: ScenarioResult, path: Optional[Path] = None) -> None:
             print(f"  {wid:<6} owner={wf['owner']:<10} arrival={wf['arrival_s']:>6.1f}s "
                   f"makespan={wf['makespan_s']:>7.1f}s wait={wf['wait_mean_s']:>6.1f}s "
                   f"done={wf['completed_tasks']}")
+    if result.streaming:
+        streaming = result.streaming
+        print(f"streaming           : {streaming['arrivals']} arrivals, "
+              f"{streaming['admitted']} admitted, {streaming['rejected']} rejected, "
+              f"{streaming['abandoned']} abandoned ({streaming['policy']} arbitration)")
+        print(f"  steady state      : {streaming['throughput_per_s']:.3f} wf/s, "
+              f"p95 wait {streaming['wait_p95_s']:.1f} s, "
+              f"deadline misses {100.0 * streaming['deadline_miss_rate']:.1f}%, "
+              f"peak queue {streaming['queue_depth_peak']}, "
+              f"peak active {streaming['active_peak']}")
     print(f"determinism digest  : {result.determinism_digest[:16]}…")
     if path is not None:
         print(f"artifact            : {path}")
@@ -342,9 +352,9 @@ def _compare_arbitrations(args: argparse.Namespace, preset) -> int:
     if not policies:
         print("error: --arbitrations needs at least one policy", file=sys.stderr)
         return 2
-    if (args.workflows or preset.workflows) < 2:
+    if (args.workflows or preset.workflows) < 2 and preset.streaming is None:
         print("error: comparing arbitration policies needs --workflows >= 2 "
-              "(or a multi-workflow preset)", file=sys.stderr)
+              "(or a multi-workflow / streaming preset)", file=sys.stderr)
         return 2
     results: List[ScenarioResult] = []
     for policy in policies:
@@ -364,6 +374,24 @@ def _compare_arbitrations(args: argparse.Namespace, preset) -> int:
         _write_bench(result, Path(args.out), scenario_id)
         results.append(result)
 
+    if results[0].streaming:
+        print(f"scenario: {args.name}   seed: {results[0].seed}   "
+              f"arrivals: {results[0].streaming['arrivals']}")
+        header = f"{'ARBITRATION':<12} {'THRU/S':>8} {'P95 WAIT':>10} {'MISS %':>8} " \
+                 f"{'ABAND %':>8} {'REJECTED':>9}"
+        print(header)
+        best = min(r.streaming["deadline_miss_rate"] for r in results)
+        for result in results:
+            streaming = result.streaming
+            marker = " *" if streaming["deadline_miss_rate"] == best else ""
+            print(
+                f"{streaming['policy']:<12} {streaming['throughput_per_s']:>8.3f} "
+                f"{streaming['wait_p95_s']:>9.1f}s "
+                f"{100.0 * streaming['deadline_miss_rate']:>7.1f} "
+                f"{100.0 * streaming['abandonment_rate']:>7.1f} "
+                f"{streaming['rejected']:>9}{marker}"
+            )
+        return 0
     print(f"scenario: {args.name}   seed: {results[0].seed}   "
           f"workflows: {results[0].serving['workflow_count']}")
     header = f"{'ARBITRATION':<12} {'MAKESPAN':>10} {'P95 WAIT':>10} {'JAIN':>7} " \
@@ -420,9 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workflows", type=int, default=None,
                      help="run N concurrent instances of the workload through the "
                           "multi-workflow serving layer (default: the preset's count)")
-    run.add_argument("--arbitration", choices=["fifo", "fair_share", "priority"],
+    run.add_argument("--arbitration", choices=["fifo", "fair_share", "priority", "edf"],
                      default=None,
-                     help="cross-workflow arbitration policy (multi-workflow runs)")
+                     help="cross-workflow arbitration policy (multi-workflow and "
+                          "streaming runs)")
     run.add_argument("--stagger", type=float, default=None,
                      help="arrival stagger between consecutive workflows (sim seconds)")
     run.add_argument("--snapshot-at", type=float, default=None,
@@ -463,8 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run N concurrent workload instances per run")
     compare.add_argument("--arbitrations", default=None,
                          help="comma-separated arbitration policies to compare "
-                              "(e.g. fifo,fair_share,priority) instead of schedulers; "
-                              "needs a multi-workflow preset or --workflows >= 2")
+                              "(e.g. fifo,fair_share,priority,edf) instead of "
+                              "schedulers; needs a multi-workflow or streaming "
+                              "preset, or --workflows >= 2")
     compare.add_argument("--modes", default=None,
                          help="comma-separated engine modes to digest-gate "
                               "(subset of default,no-vector,no-columnar); exits "

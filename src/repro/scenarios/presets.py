@@ -21,6 +21,7 @@ from repro.scenarios.dynamics import (
     TimelineEvent,
 )
 from repro.scenarios.spec import EndpointSpec, ScenarioSpec, WorkloadSpec
+from repro.streaming.spec import StreamingSpec
 
 __all__ = [
     "SCENARIOS",
@@ -302,6 +303,50 @@ def _build_registry() -> Dict[str, ScenarioSpec]:
                 churn=_CHURN,
                 orchestrator=(OrchestratorCrash(at_s=25.0, restart_delay_s=10.0),),
                 horizon_s=400.0,
+            ),
+        ),
+        # ---------------------------------------------- streaming regimes
+        ScenarioSpec(
+            name="stream-steady",
+            description="Open-loop serving at a sustainable rate: Poisson tenant "
+                        "arrivals through bounded admission, EDF deadlines, "
+                        "retirement keeping live state O(active tenants)",
+            workload=WorkloadSpec(kind="stress", task_count=8, duration_s=2.0,
+                                  output_mb=1.0),
+            topology=_TRIO,
+            scheduler="DHA",
+            arbitration="edf",
+            streaming=StreamingSpec(
+                mean_interarrival_s=6.0,
+                max_arrivals=24,
+                queue_limit=12,
+                max_active=8,
+                slo_s=240.0,
+                patience_s=150.0,
+                window_s=60.0,
+            ),
+        ),
+        ScenarioSpec(
+            name="stream-overload",
+            description="Arrivals outpace a small two-site federation: the "
+                        "admission queue saturates (rejections + abandonment) "
+                        "and mixed SLOs give EDF its edge over FIFO",
+            workload=WorkloadSpec(kind="stress", task_count=16, duration_s=3.0,
+                                  output_mb=0.0),
+            topology=(
+                EndpointSpec(name="site_a", cluster="qiming", workers=8, max_workers=16),
+                EndpointSpec(name="site_b", cluster="lab", workers=4, max_workers=8),
+            ),
+            scheduler="DHA",
+            arbitration="edf",
+            streaming=StreamingSpec(
+                mean_interarrival_s=1.5,
+                max_arrivals=80,
+                queue_limit=8,
+                max_active=10,
+                slo_choices=(40.0, 80.0, 480.0),
+                patience_s=90.0,
+                window_s=60.0,
             ),
         ),
         # ------------------------------------------------ authoring zoo

@@ -37,6 +37,7 @@ from repro.faas.types import ServiceLatencyModel
 from repro.scenarios.dynamics import DynamicsInjector, DynamicsSpec, TimelineEvent
 from repro.sim.hardware import ClusterSpec, testbed_clusters
 from repro.sim.network import NetworkModel
+from repro.streaming.spec import StreamingSpec
 from repro.workloads.drug_screening import DRUG_SCREENING_TYPES, build_drug_screening_workflow
 from repro.workloads.montage import MONTAGE_TYPES, build_montage_workflow
 from repro.workloads.spec import TaskTypeSpec, WorkloadInfo, make_task_type
@@ -338,6 +339,12 @@ class ScenarioSpec:
     #: layer; ``None`` disables checkpointing.  Orchestrator-crash recovery
     #: restores from the latest checkpoint that validates.
     checkpoint_interval_s: Optional[float] = None
+    #: Open-loop streaming regime.  When set, the scenario stops being a
+    #: closed batch: ``workload`` describes one tenant's DAG, tenants arrive
+    #: continuously from a seeded Poisson process, pass through bounded
+    #: admission, run under per-tenant SLO deadlines, and are retired on
+    #: completion (``workflows`` is ignored on this path).
+    streaming: Optional[StreamingSpec] = None
 
     def with_overrides(
         self,
@@ -423,6 +430,9 @@ class ScenarioResult:
     #: / orchestrator-crash recovery was engaged): cut positions, tail
     #: digests, checkpoints written and per-crash recovery accounting.
     durability: Dict[str, object] = field(default_factory=dict)
+    #: Open-loop streaming report (empty on batch runs): admission counters,
+    #: steady-state throughput / tail-wait / deadline-miss metrics.
+    streaming: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> str:
         """Canonical, byte-stable JSON payload (sorted keys, fixed floats)."""
@@ -458,6 +468,9 @@ class ScenarioResult:
         if self.durability:
             # Likewise only durability-engaged runs carry this key.
             payload["durability"] = self.durability
+        if self.streaming:
+            # And only open-loop streaming runs carry this one.
+            payload["streaming"] = self.streaming
         return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
 
 
@@ -524,6 +537,12 @@ def _run_attempt(
 
         reset_global_id_counters()
     env, config = _build_environment(spec, seed)
+    if spec.streaming is not None:
+        from repro.scenarios.streaming import run_streaming_scenario
+
+        return run_streaming_scenario(
+            spec, seed, env, config, max_wall_time_s, controller_factory
+        )
     if spec.workflows > 1:
         return _run_serving_scenario(
             spec, seed, env, config, max_wall_time_s, controller_factory

@@ -10,7 +10,7 @@ core of hard-capacitated facility assignment — demand from several owners
 sharing capacity-bounded facilities without any owner exceeding or
 monopolising them — solved here with deterministic integer apportionment.
 
-Three policies ship:
+Four policies ship:
 
 * :class:`FifoArbitration` — workflows drain strictly in arrival order; the
   baseline (and exactly what naively pointing N clients at one federation
@@ -21,6 +21,10 @@ Three policies ship:
   any tenant across rounds (weighted deficit round-robin).
 * :class:`StrictPriorityArbitration` — higher-priority workflows preempt all
   capacity; ties fall back to arrival order.
+* :class:`EdfArbitration` — earliest deadline first: the workflow whose SLO
+  deadline expires soonest drains before the others.  Deadlines come from
+  the streaming admission layer (admit time + SLO); tenants without one sort
+  last (``inf``), so EDF degrades to FIFO for deadline-free batches.
 
 Every policy is deterministic: identical inputs (plus identical cumulative
 history for fair-share) produce identical allocations, which is what makes
@@ -40,6 +44,7 @@ from repro.elastic.scaling import largest_remainder_split
 __all__ = [
     "ARBITRATION_POLICIES",
     "ArbitrationPolicy",
+    "EdfArbitration",
     "FairShareArbitration",
     "FifoArbitration",
     "StrictPriorityArbitration",
@@ -59,6 +64,8 @@ class TenantShare:
     priority: int = 0
     #: Position in arrival order (earlier = smaller).
     arrival_index: int = 0
+    #: Absolute SLO deadline on the simulation clock (EDF); ``inf`` = none.
+    deadline: float = float("inf")
 
 
 Allocation = Dict[str, Dict[str, int]]
@@ -132,6 +139,26 @@ class StrictPriorityArbitration(ArbitrationPolicy):
     def allocate(self, free, demands, tenants, *, record_service: bool = True) -> Allocation:
         ordered = sorted(
             tenants, key=lambda t: (-t.priority, t.arrival_index, t.workflow_id)
+        )
+        return self._ordered_drain(free, demands, ordered)
+
+
+class EdfArbitration(ArbitrationPolicy):
+    """Earliest deadline first: the most urgent workflow drains first.
+
+    Workflows are served in ascending deadline order (ties fall back to
+    arrival order, then workflow id), each taking everything it wants that is
+    left — the classic dynamic-priority discipline that is optimal for
+    meeting deadlines on a single preemptable resource.  Tenants with no
+    deadline (``inf``) are served last, so mixing deadline-bearing streaming
+    tenants with batch tenants starves neither determinism nor the batch.
+    """
+
+    name = "edf"
+
+    def allocate(self, free, demands, tenants, *, record_service: bool = True) -> Allocation:
+        ordered = sorted(
+            tenants, key=lambda t: (t.deadline, t.arrival_index, t.workflow_id)
         )
         return self._ordered_drain(free, demands, ordered)
 
@@ -282,7 +309,7 @@ class FairShareArbitration(ArbitrationPolicy):
         return allocation
 
 
-ARBITRATION_POLICIES = ("fifo", "fair_share", "priority")
+ARBITRATION_POLICIES = ("fifo", "fair_share", "priority", "edf")
 
 
 def create_arbitration(name: str, *, vectorized: bool = False) -> ArbitrationPolicy:
@@ -299,6 +326,8 @@ def create_arbitration(name: str, *, vectorized: bool = False) -> ArbitrationPol
         return FairShareArbitration(vectorized=vectorized)
     if key in ("priority", "strict_priority", "strict-priority"):
         return StrictPriorityArbitration()
+    if key in ("edf", "deadline", "earliest_deadline_first"):
+        return EdfArbitration()
     raise ValueError(
         f"unknown arbitration policy {name!r}; expected one of {ARBITRATION_POLICIES}"
     )

@@ -122,6 +122,7 @@ class WorkflowHandle:
         weight: float,
         priority: int,
         arrival_s: float,
+        deadline_s: Optional[float] = None,
         builder: Optional[Callable[["WorkflowHandle"], object]],
     ) -> None:
         self._manager = manager
@@ -131,11 +132,19 @@ class WorkflowHandle:
         self.weight = weight
         self.priority = priority
         self.arrival_s = arrival_s
+        #: Absolute SLO deadline on the simulation clock (EDF arbitration).
+        self.deadline_s = float("inf") if deadline_s is None else float(deadline_s)
         self.builder = builder
+        #: FIFO position among live tenants; stamped by the manager.
+        self.arrival_index = 0
         self.started = False
         self.finished = False
         self.paused = False
         self.cancelled = False
+        self.retired = False
+        #: Attributed transfer volume, frozen at retirement (the shared data
+        #: manager's per-namespace entry is released then).
+        self._attributed_mb: Optional[float] = None
 
     # -------------------------------------------------- client-like facade
     def submit(self, fn: FederatedFunction, args: tuple, kwargs: Dict[str, object]):
@@ -198,6 +207,8 @@ class WorkflowHandle:
 
     def summary(self) -> WorkflowSummary:
         """This workflow's summary, with its own attributed transfer volume."""
+        if self._attributed_mb is not None:
+            return self.engine.metrics.summary(self._attributed_mb)
         return self.engine.metrics.summary(
             self._manager.data_manager.volume_by_namespace_mb.get(self.workflow_id, 0.0)
         )
@@ -254,6 +265,7 @@ class WorkflowManager:
         scaling_strategy: Optional[ScalingStrategy] = None,
         history_store: Optional[HistoryStore] = None,
         scaling_check_interval_s: float = 10.0,
+        profiler_sample_window: Optional[int] = None,
     ) -> None:
         self.config = config
         self.fabric = fabric
@@ -279,7 +291,10 @@ class WorkflowManager:
             self.clock,
             sync_interval_s=config.endpoint_sync_interval_s,
         )
-        self.execution_profiler = ExecutionProfiler(store if store.task_count() else None)
+        self.execution_profiler = ExecutionProfiler(
+            store if store.task_count() else None,
+            max_samples_retained=profiler_sample_window,
+        )
         self.transfer_profiler = TransferProfiler(store if store.transfer_count() else None)
         self.task_monitor.add_task_listener(self.execution_profiler.observe)
         backend = transfer_backend or LocalCopyTransferBackend(clock=self.clock)
@@ -309,12 +324,21 @@ class WorkflowManager:
 
         self._workflows: Dict[str, WorkflowHandle] = {}
         self._ordered: List[WorkflowHandle] = []
-        self._arrival_handles: List = []
+        self._arrival_handles: Dict[str, object] = {}
         self._running = False
         self._shut_down = False
         self._last_scaling_check = 0.0
         self._started_at: Optional[float] = None
         self._finished_at: Optional[float] = None
+        #: Streaming hooks.  ``completion_hold`` keeps :meth:`run` alive while
+        #: an external source (the admission controller) still owes arrivals
+        #: even though every *registered* workflow has finished;
+        #: ``on_workflow_finished`` fires once per workflow as it completes —
+        #: the retirement trigger.
+        self.completion_hold: Optional[Callable[[], bool]] = None
+        self.on_workflow_finished: Optional[Callable[[WorkflowHandle], None]] = None
+        #: All-time counters that survive retirement (summary aggregates).
+        self.retired_count = 0
 
     # ------------------------------------------------------------ workflows
     def add_workflow(
@@ -325,6 +349,7 @@ class WorkflowManager:
         weight: float = 1.0,
         priority: int = 0,
         arrival_s: float = 0.0,
+        deadline_s: Optional[float] = None,
         builder: Optional[Callable[[WorkflowHandle], object]] = None,
         scheduler: Optional[Scheduler] = None,
         metrics: Optional[MetricsCollector] = None,
@@ -335,7 +360,9 @@ class WorkflowManager:
         ``arrival_s`` comes due — staggered multi-tenant arrivals; without
         one, compose eagerly through ``with handle: ...`` before ``run()``.
         ``weight`` feeds fair-share arbitration, ``priority`` the
-        strict-priority policy.
+        strict-priority policy, and ``deadline_s`` (an absolute simulation
+        time; the streaming admission layer sets admit time + SLO) the
+        earliest-deadline-first policy.
         """
         if weight <= 0:
             raise ValueError("workflow weight must be positive")
@@ -368,26 +395,34 @@ class WorkflowManager:
             weight=weight,
             priority=priority,
             arrival_s=arrival_s,
+            deadline_s=deadline_s,
             builder=builder,
         )
         self._workflows[workflow_id] = handle
         # Deterministic tenant order regardless of registration interleaving.
+        # Every live handle is (re)stamped with its position — the arbitration
+        # policies' FIFO key.  The stamp, not a live ``enumerate``, is what
+        # the pump uses, so retiring an early tenant cannot shift the relative
+        # order of the survivors mid-run.
         self._ordered = sorted(
             self._workflows.values(), key=lambda h: (h.arrival_s, h.workflow_id)
         )
+        for index, ordered_handle in enumerate(self._ordered):
+            ordered_handle.arrival_index = index
         kernel = getattr(self.fabric, "kernel", None)
-        if kernel is not None and arrival_s > 0:
+        if kernel is not None and arrival_s > self.clock.now():
             # A real (non-daemon) kernel event, like the dynamics layer's
             # timeline: the simulation advances to the arrival even when the
             # already-running workflows drain first.  The handle is kept so
             # :meth:`shutdown` can cancel arrivals a discarded manager owns.
-            self._arrival_handles.append(
-                kernel.schedule_at(
-                    arrival_s,
-                    self._activate,
-                    handle,
-                    label=f"workflow-arrival-{workflow_id}",
-                )
+            # Workflows arriving *now* (streaming admissions inside the run
+            # loop) skip the event: ``_activate_due`` picks them up on the
+            # current round.
+            self._arrival_handles[workflow_id] = kernel.schedule_at(
+                arrival_s,
+                self._activate,
+                handle,
+                label=f"workflow-arrival-{workflow_id}",
             )
         return handle
 
@@ -405,7 +440,7 @@ class WorkflowManager:
         Raises :class:`SchedulingError` when the federation stalls (no
         workflow can make progress and no arrival is pending).
         """
-        if not self._workflows:
+        if not self._workflows and self.completion_hold is None:
             return
         self._running = True
         for name in self.fabric.endpoint_names():
@@ -482,7 +517,7 @@ class WorkflowManager:
             return
         self._shut_down = True
         self._running = False
-        for event_handle in self._arrival_handles:
+        for event_handle in self._arrival_handles.values():
             event_handle.cancel()
         self._arrival_handles.clear()
         for event_type, handler in self._subscriptions:
@@ -501,6 +536,8 @@ class WorkflowManager:
             handle.engine.metrics.workflow_started(self.clock.now())
             handle.engine.finalize()
             handle.finished = True
+            if self.on_workflow_finished is not None:
+                self.on_workflow_finished(handle)
             return
         handle.engine.start()
 
@@ -519,6 +556,11 @@ class WorkflowManager:
         ]
 
     def _all_complete(self) -> bool:
+        if self.completion_hold is not None and self.completion_hold():
+            # The arrival stream still owes work (pending arrivals, queued
+            # admissions): an empty or fully-drained tenant set is not the
+            # end of the run.
+            return False
         return all(h.finished for h in self._ordered)
 
     def _engine_for_task(self, task_id: str) -> ExecutionEngine:
@@ -529,18 +571,53 @@ class WorkflowManager:
             if handle.engine.graph.is_complete():
                 handle.engine.finalize()
                 handle.finished = True
+                if self.on_workflow_finished is not None:
+                    self.on_workflow_finished(handle)
+
+    # ------------------------------------------------------------ retirement
+    def retire(self, handle: WorkflowHandle) -> None:
+        """Release a finished tenant's footprint on the shared substrate.
+
+        Open-loop serving admits workflows forever; without retirement every
+        completed tenant keeps its task graph, columnar store, event bus,
+        scheduler and staging records alive and the run is O(all-time tasks)
+        in memory.  Retiring drops the manager's references, unhooks the
+        tenant's staged callback from the shared data manager and releases
+        its namespace's tickets and pins — after which the tenant's whole
+        engine is garbage.  The handle itself stays valid (its summary is
+        frozen) but is no longer known to the manager.
+        """
+        if handle.retired:
+            return
+        if not handle.finished:
+            raise ValueError(
+                f"workflow {handle.workflow_id!r} is not finished; only "
+                "completed workflows can be retired"
+            )
+        wid = handle.workflow_id
+        handle._attributed_mb = self.data_manager.volume_by_namespace_mb.get(wid, 0.0)
+        handle.retired = True
+        self.data_manager.remove_staged_callback(handle.engine.staging._on_ticket_done)
+        self.data_manager.release_namespace(wid)
+        if self._workflows.get(wid) is handle:
+            del self._workflows[wid]
+        self._ordered = [h for h in self._ordered if h is not handle]
+        arrival = self._arrival_handles.pop(wid, None)
+        if arrival is not None:
+            arrival.cancel()
+        self.retired_count += 1
 
     def _tenants(self, active: List[WorkflowHandle]) -> List[TenantShare]:
-        by_id = {h.workflow_id: h for h in active}
         return [
             TenantShare(
                 workflow_id=h.workflow_id,
                 weight=h.weight,
                 priority=h.priority,
-                arrival_index=index,
+                arrival_index=h.arrival_index,
+                deadline=h.deadline_s,
             )
-            for index, h in enumerate(self._ordered)
-            if h.workflow_id in by_id
+            for h in self._ordered
+            if h in active
         ]
 
     def _free_capacity(self) -> Dict[str, int]:

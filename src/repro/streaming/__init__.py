@@ -1,0 +1,25 @@
+"""Open-loop streaming serving: continuous arrivals, admission, retirement.
+
+This package turns the closed-batch multi-workflow serving layer into an
+open-loop service: tenants arrive continuously on the kernel timeline from a
+seeded Poisson process, pass through a bounded admission queue (rejection at
+the bound, abandonment at the patience deadline), run under a per-tenant SLO
+deadline that the ``edf`` arbitration policy schedules against, and are
+*retired* on completion so live state stays O(active tenants) no matter how
+long the stream runs.  Steady-state metrics replace makespan.
+"""
+
+from repro.streaming.admission import AdmissionController
+from repro.streaming.arrivals import ArrivalProcess, StreamArrival
+from repro.streaming.metrics import SteadyStateMetrics
+from repro.streaming.service import StreamingService
+from repro.streaming.spec import StreamingSpec
+
+__all__ = [
+    "AdmissionController",
+    "ArrivalProcess",
+    "SteadyStateMetrics",
+    "StreamArrival",
+    "StreamingService",
+    "StreamingSpec",
+]

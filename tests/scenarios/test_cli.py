@@ -88,3 +88,34 @@ class TestCompare:
     def test_compare_arbitrations_requires_multiple_workflows(self, capsys):
         assert main(["compare", "ci-smoke", "--arbitrations", "fifo"]) == 2
         assert "--workflows" in capsys.readouterr().err
+
+
+class TestStreaming:
+    def test_run_streaming_preset_prints_steady_state(self, tmp_path, capsys):
+        assert main(["run-scenario", "stream-steady", "--out", str(tmp_path)]) == 0
+        artifact = tmp_path / "BENCH_stream-steady.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        streaming = payload["streaming"]
+        assert streaming["policy"] == "edf"
+        assert streaming["arrivals"] == 24
+        assert streaming["retired"] == streaming["admitted"]
+        out = capsys.readouterr().out
+        assert "streaming" in out
+        assert "steady state" in out
+
+    def test_compare_arbitrations_accepts_edf_on_streaming_preset(
+        self, tmp_path, capsys
+    ):
+        # No --workflows needed: the streaming preset is inherently
+        # multi-tenant.
+        assert main([
+            "compare", "stream-steady", "--arbitrations", "fifo,edf",
+            "--out", str(tmp_path),
+        ]) == 0
+        fifo = json.loads((tmp_path / "BENCH_stream-steady-fifo.json").read_text())
+        edf = json.loads((tmp_path / "BENCH_stream-steady-edf.json").read_text())
+        assert fifo["streaming"]["policy"] == "fifo"
+        assert edf["streaming"]["policy"] == "edf"
+        out = capsys.readouterr().out
+        assert "ARBITRATION" in out and "MISS %" in out

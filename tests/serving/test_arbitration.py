@@ -3,6 +3,7 @@
 import pytest
 
 from repro.serving.arbitration import (
+    EdfArbitration,
     FairShareArbitration,
     FifoArbitration,
     StrictPriorityArbitration,
@@ -130,10 +131,81 @@ class TestFairShare:
                 assert granted <= demands[wid].get(endpoint, 0)
 
 
+class TestEdf:
+    @staticmethod
+    def deadline_tenants(*specs):
+        return [
+            TenantShare(workflow_id=wid, arrival_index=i, deadline=deadline)
+            for i, (wid, deadline) in enumerate(specs)
+        ]
+
+    def test_earliest_deadline_drains_first(self):
+        policy = EdfArbitration()
+        allocation = policy.allocate(
+            {"ep": 3},
+            {"wf0": {"ep": 3}, "wf1": {"ep": 3}},
+            self.deadline_tenants(("wf0", 500.0), ("wf1", 90.0)),
+        )
+        # wf1 arrived later but its deadline expires first.
+        assert allocation["wf1"] == {"ep": 3}
+        assert allocation["wf0"] == {}
+
+    def test_equal_deadlines_fall_back_to_arrival_order(self):
+        policy = EdfArbitration()
+        allocation = policy.allocate(
+            {"ep": 3},
+            {"wf0": {"ep": 3}, "wf1": {"ep": 3}},
+            self.deadline_tenants(("wf0", 100.0), ("wf1", 100.0)),
+        )
+        assert allocation["wf0"] == {"ep": 3}
+        assert allocation["wf1"] == {}
+
+    def test_deadline_free_tenants_sort_last(self):
+        # A batch tenant (no deadline) shares the federation with a streaming
+        # tenant: the deadline-bearing tenant preempts, the batch tenant
+        # takes the remainder.
+        policy = EdfArbitration()
+        allocation = policy.allocate(
+            {"ep": 5},
+            {"batch": {"ep": 4}, "stream": {"ep": 2}},
+            [
+                TenantShare(workflow_id="batch", arrival_index=0),
+                TenantShare(workflow_id="stream", arrival_index=1, deadline=60.0),
+            ],
+        )
+        assert allocation["stream"] == {"ep": 2}
+        assert allocation["batch"] == {"ep": 3}
+
+    def test_all_deadline_free_degrades_to_fifo(self):
+        edf = EdfArbitration()
+        fifo = FifoArbitration()
+        free = {"ep": 5}
+        demands = {"wf0": {"ep": 4}, "wf1": {"ep": 4}}
+        share = tenants(("wf0", 1.0, 0), ("wf1", 1.0, 0))
+        assert edf.allocate(free, demands, share) == fifo.allocate(
+            free, demands, share
+        )
+
+    def test_unused_urgent_demand_spills_to_less_urgent(self):
+        policy = EdfArbitration()
+        allocation = policy.allocate(
+            {"ep": 6},
+            {"wf0": {"ep": 10}, "wf1": {"ep": 1}},
+            self.deadline_tenants(("wf0", 400.0), ("wf1", 40.0)),
+        )
+        assert allocation["wf1"] == {"ep": 1}
+        assert allocation["wf0"] == {"ep": 5}
+
+
 class TestRegistry:
     def test_create_by_name(self):
         assert create_arbitration("fifo").name == "fifo"
         assert create_arbitration("fair_share").name == "fair_share"
         assert create_arbitration("priority").name == "priority"
+        assert create_arbitration("edf").name == "edf"
         with pytest.raises(ValueError):
             create_arbitration("lottery")
+
+    def test_edf_aliases(self):
+        assert create_arbitration("deadline").name == "edf"
+        assert create_arbitration("earliest_deadline_first").name == "edf"

@@ -1,0 +1,109 @@
+"""Unit tests for the seeded open-loop arrival process."""
+
+import numpy as np
+
+from repro.sim.kernel import SimulationKernel
+from repro.streaming import ArrivalProcess, StreamingSpec
+
+
+def collect(spec, seed=0):
+    kernel = SimulationKernel()
+    arrivals = []
+    process = ArrivalProcess(
+        kernel, np.random.default_rng(seed), spec, arrivals.append
+    )
+    process.start()
+    kernel.run()
+    return kernel, process, arrivals
+
+
+class TestPoissonStream:
+    def test_emits_exactly_max_arrivals(self):
+        spec = StreamingSpec(mean_interarrival_s=5.0, max_arrivals=7)
+        _, process, arrivals = collect(spec)
+        assert len(arrivals) == 7
+        assert process.emitted == process.total_emitted == 7
+        assert process.exhausted
+
+    def test_ids_are_zero_padded_and_sequential(self):
+        spec = StreamingSpec(mean_interarrival_s=5.0, max_arrivals=3)
+        _, _, arrivals = collect(spec)
+        assert [a.workflow_id for a in arrivals] == ["wf00000", "wf00001", "wf00002"]
+        assert [a.index for a in arrivals] == [0, 1, 2]
+
+    def test_arrival_times_strictly_increase_from_start(self):
+        spec = StreamingSpec(mean_interarrival_s=4.0, max_arrivals=10, start_s=20.0)
+        _, _, arrivals = collect(spec)
+        times = [a.arrival_s for a in arrivals]
+        assert times[0] > 20.0
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_same_seed_same_stream(self):
+        spec = StreamingSpec(mean_interarrival_s=3.0, max_arrivals=12)
+        _, _, first = collect(spec, seed=7)
+        _, _, second = collect(spec, seed=7)
+        assert [a.arrival_s for a in first] == [a.arrival_s for a in second]
+
+    def test_different_seed_different_stream(self):
+        spec = StreamingSpec(mean_interarrival_s=3.0, max_arrivals=12)
+        _, _, first = collect(spec, seed=1)
+        _, _, second = collect(spec, seed=2)
+        assert [a.arrival_s for a in first] != [a.arrival_s for a in second]
+
+
+class TestScriptedArrivals:
+    def test_scripted_fire_in_time_order(self):
+        spec = StreamingSpec(max_arrivals=0, scripted_arrivals=(9.0, 2.0, 5.0))
+        _, process, arrivals = collect(spec)
+        assert [a.arrival_s for a in arrivals] == [2.0, 5.0, 9.0]
+        assert all(a.scripted for a in arrivals)
+        assert process.exhausted
+
+    def test_scripted_do_not_count_against_max_arrivals(self):
+        spec = StreamingSpec(
+            mean_interarrival_s=5.0, max_arrivals=4, scripted_arrivals=(1.0,)
+        )
+        _, process, arrivals = collect(spec)
+        assert len(arrivals) == 5
+        assert process.emitted == 4  # stochastic only
+        assert sum(1 for a in arrivals if a.scripted) == 1
+        # Ids are one shared sequence across both sources.
+        assert sorted(a.workflow_id for a in arrivals) == [
+            f"wf{i:05d}" for i in range(5)
+        ]
+
+
+class TestLifecycle:
+    def test_not_exhausted_while_events_pending(self):
+        spec = StreamingSpec(mean_interarrival_s=5.0, max_arrivals=3)
+        kernel = SimulationKernel()
+        process = ArrivalProcess(
+            kernel, np.random.default_rng(0), spec, lambda a: None
+        )
+        assert not process.exhausted  # not started yet
+        process.start()
+        assert not process.exhausted  # first draw pending
+        kernel.run()
+        assert process.exhausted
+
+    def test_shutdown_cancels_pending_arrivals(self):
+        spec = StreamingSpec(
+            mean_interarrival_s=5.0, max_arrivals=10, scripted_arrivals=(1000.0,)
+        )
+        kernel = SimulationKernel()
+        fired = []
+        process = ArrivalProcess(kernel, np.random.default_rng(0), spec, fired.append)
+        process.start()
+        process.shutdown()
+        kernel.run()
+        assert fired == []
+        assert kernel.pending_events == 0
+
+    def test_rejects_non_positive_interarrival(self):
+        import pytest
+
+        spec = StreamingSpec(mean_interarrival_s=0.0)
+        with pytest.raises(ValueError):
+            ArrivalProcess(
+                SimulationKernel(), np.random.default_rng(0), spec, lambda a: None
+            )
