@@ -43,6 +43,7 @@ _ENGINE_ATTRS = frozenset(
         "execution_profiler",
         "transfer_profiler",
         "data_manager",
+        "plan_service",
         "scheduler",
         "scaling_strategy",
         "metrics",
@@ -68,6 +69,7 @@ class UniFaaSClient:
         history_store: Optional[HistoryStore] = None,
         metrics: Optional[MetricsCollector] = None,
         scaling_check_interval_s: float = 10.0,
+        placement=None,
     ) -> None:
         self.engine = ExecutionEngine(
             config,
@@ -78,6 +80,7 @@ class UniFaaSClient:
             history_store=history_store,
             metrics=metrics,
             scaling_check_interval_s=scaling_check_interval_s,
+            placement=placement,
         )
         set_current_client(self)
 

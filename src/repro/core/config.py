@@ -103,6 +103,18 @@ class Config:
     enable_prefetch: bool = True
     #: Enable multi-endpoint elastic scaling (§IV-H).
     enable_scaling: bool = True
+    #: Solve a global placement plan (capacitated facility location over the
+    #: prediction matrices) periodically and thread it through the scheduler
+    #: (EFT tie-breaks toward plan-warm endpoints), the elastic scaler
+    #: (plan worker targets anchor the scale-out split) and the data plane
+    #: (replica-root preference for multi-source selection and prefetch
+    #: destinations).  Disable (``--no-placement``) to run the pure-greedy
+    #: layers byte-identically to the pre-placement engine.
+    enable_placement_plan: bool = True
+    #: Period (s) at which the placement plan is re-solved (a dynamics
+    #: invalidation — crash / rejoin / churn — forces a re-solve at the next
+    #: periodic check regardless of the cadence).
+    placement_interval_s: float = 30.0
     #: Batch size used when submitting tasks / polling results (§IV-H).
     batch_size: int = 64
     #: Period (s) at which the durability layer writes a checkpoint snapshot
@@ -160,6 +172,7 @@ class Config:
             ("endpoint_sync_interval_s", self.endpoint_sync_interval_s),
             ("profiler_update_interval_s", self.profiler_update_interval_s),
             ("rescheduling_interval_s", self.rescheduling_interval_s),
+            ("placement_interval_s", self.placement_interval_s),
         ):
             if value <= 0:
                 raise ConfigurationError(f"{name} must be positive")

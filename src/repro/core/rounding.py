@@ -1,0 +1,71 @@
+"""Deterministic integer apportionment shared across subsystems.
+
+The same fractional-to-integer rounding problem shows up wherever a whole
+number of workers must be split proportionally between competing claimants:
+the elastic scaler divides a scale-out shortfall between endpoints by
+headroom, the serving layer's fair-share arbitration divides free capacity
+between tenants by weight, and the placement optimizer divides plan worker
+targets.  All of them must round the *same way* — byte-determinism of the
+scenario artifacts depends on every call site resolving ties identically —
+so the algorithm lives here, once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = ["largest_remainder_split"]
+
+
+def largest_remainder_split(
+    total: int,
+    weights: Mapping[str, float],
+    caps: Optional[Mapping[str, int]] = None,
+    tiebreak: Optional[Mapping[str, float]] = None,
+) -> Dict[str, int]:
+    """Split ``total`` units proportionally to ``weights``, deterministically.
+
+    Integer apportionment by the largest-remainder (Hamilton) method: each
+    key gets the floor of its exact proportional quota, and the leftover
+    units go to the largest fractional remainders.  Ties — and therefore the
+    whole allocation — resolve deterministically: by ``tiebreak`` value
+    (ascending) when given, then by key.  ``caps`` bounds each key's
+    allocation; capped leftovers spill to the remaining keys.  Keys with
+    non-positive weight (or cap) always get zero.  Used by the elastic
+    scaler's shortfall split, the serving layer's fair-share arbitration and
+    the placement optimizer's worker-target apportionment.
+    """
+    out = {key: 0 for key in weights}
+    eligible = {
+        key: w
+        for key, w in weights.items()
+        if w > 0 and (caps is None or caps.get(key, 0) > 0)
+    }
+    if total <= 0 or not eligible:
+        return out
+    if caps is not None:
+        total = min(total, sum(caps[key] for key in eligible))
+    weight_sum = sum(eligible.values())
+    quotas = {key: total * w / weight_sum for key, w in eligible.items()}
+    for key in eligible:
+        floor = int(quotas[key])
+        out[key] = floor if caps is None else min(floor, caps[key])
+    leftover = total - sum(out.values())
+    order = sorted(
+        eligible,
+        key=lambda key: (
+            -(quotas[key] - int(quotas[key])),
+            tiebreak.get(key, 0.0) if tiebreak is not None else 0.0,
+            key,
+        ),
+    )
+    while leftover > 0 and order:
+        for key in list(order):
+            if leftover <= 0:
+                break
+            if caps is not None and out[key] >= caps[key]:
+                order.remove(key)
+                continue
+            out[key] += 1
+            leftover -= 1
+    return out

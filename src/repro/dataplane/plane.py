@@ -45,6 +45,12 @@ from repro.sim.kernel import Clock
 
 __all__ = ["DataPlane"]
 
+#: Multi-source selection tolerates a plan replica root costing up to this
+#: factor of the true cheapest source before abandoning it.  Small enough
+#: that steering never doubles a transfer, large enough to absorb transient
+#: link-pressure differences between equivalent replicas.
+_ROOT_PREFERENCE_FACTOR = 1.25
+
 
 class DataPlane(DataManager):
     """Replica store + transfer scheduler behind the DataManager interface."""
@@ -81,6 +87,11 @@ class DataPlane(DataManager):
             on_done=self._on_job_done,
         )
 
+        #: Zero-arg callable returning the current placement plan (or None);
+        #: multi-source selection prefers a file's plan replica root while
+        #: its cost stays within a small factor of the true cheapest source.
+        self._plan_provider = None
+
         # Data-plane counters (metrics collector / benchmarks).
         self.cache_hits = 0
         self.cache_misses = 0
@@ -91,6 +102,10 @@ class DataPlane(DataManager):
         #: Demand requests that caught up with an in-queue/in-flight prefetch.
         self.prefetch_joined = 0
         self.superseded_tickets = 0
+
+    def set_plan_provider(self, provider) -> None:
+        """Wire the placement service's plan into multi-source selection."""
+        self._plan_provider = provider
 
     # ------------------------------------------------------------------ stats
     @property
@@ -378,7 +393,22 @@ class DataPlane(DataManager):
             pressure = self.transfers.link_pressure(src, destination)
             return base * (1.0 + pressure / limit)
 
-        return min(sources, key=cost)
+        best = min(sources, key=cost)
+        root = self._plan_root(file)
+        if root is not None and root != best and root in sources:
+            # Placement steering: serving repeat pulls from the plan root
+            # keeps the root replica hot (eviction policies see the traffic)
+            # and the other replicas expendable, at a bounded cost premium.
+            if cost(root) <= _ROOT_PREFERENCE_FACTOR * cost(best):
+                return root
+        return best
+
+    def _plan_root(self, file: RemoteFile) -> Optional[str]:
+        provider = self._plan_provider
+        plan = provider() if provider is not None else None
+        if plan is None:
+            return None
+        return plan.root_for(file.file_id)
 
     def _join_or_enqueue(
         self, file: RemoteFile, destination: str, ticket: StagingTicket, priority: float

@@ -58,12 +58,17 @@ class Prefetcher:
             Callable[[Task, Optional[Dict[str, int]]], Optional[str]]
         ] = None,
         endpoint_names: Optional[Callable[[], List[str]]] = None,
+        plan_provider: Optional[Callable[[], object]] = None,
         max_files_per_task: int = 32,
     ) -> None:
         self._plane = plane
         self._graph = graph
         self._placement_hint = placement_hint
         self._endpoint_names = endpoint_names
+        #: Zero-arg callable returning the current placement plan (or None):
+        #: when the task's dominant input has a plan replica root, the guess
+        #: aims there before consulting the per-task EFT hint.
+        self._plan_provider = plan_provider
         self.max_files_per_task = max_files_per_task
         #: Guessed destination per still-pending task, and the per-endpoint
         #: slots those guesses have booked (released on real placement).
@@ -203,6 +208,9 @@ class Prefetcher:
         return guess
 
     def _fresh_guess(self, task: Task) -> Optional[str]:
+        root = self._plan_root_guess(task)
+        if root is not None:
+            return root
         if self._placement_hint is not None:
             hint = self._placement_hint(task, self._virtual_claims)
             if hint is not None:
@@ -217,3 +225,25 @@ class Prefetcher:
             names,
             key=lambda name: (self._plane.bytes_to_move_mb(task.input_files, name), name),
         )
+
+    def _plan_root_guess(self, task: Task) -> Optional[str]:
+        """The plan replica root of the task's largest rooted input, if any.
+
+        The global optimizer already decided where the warm copy of each hot
+        dataset should live; a consumer's inputs are most cheaply assembled
+        there, so the guess defers to the plan before re-deriving an answer
+        from per-task EFT state.
+        """
+        provider = self._plan_provider
+        plan = provider() if provider is not None else None
+        if plan is None:
+            return None
+        rooted = [
+            (file, plan.root_for(file.file_id))
+            for file in task.input_files
+            if plan.root_for(file.file_id) is not None
+        ]
+        if not rooted:
+            return None
+        rooted.sort(key=lambda pair: (-pair[0].size_mb, pair[0].file_id))
+        return rooted[0][1]

@@ -62,6 +62,10 @@ def capture_sections(ctx) -> Dict[str, object]:
         sections["serving"] = _capture_serving(ctx.manager)
     if getattr(ctx, "streaming", None) is not None:
         sections["streaming"] = _capture_streaming(ctx.streaming)
+    if getattr(ctx, "placement", None) is not None:
+        # Plan state plus the dedicated "placement" RNG stream: the replay
+        # proof requires the restored run's solves to continue bit-identically.
+        sections["placement"] = ctx.placement.capture_state()
     return sections
 
 

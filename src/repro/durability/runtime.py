@@ -106,6 +106,9 @@ class RunContext:
         #: The open-loop :class:`~repro.streaming.service.StreamingService`
         #: of a streaming attempt (``None`` on batch paths).
         self.streaming = None
+        #: The :class:`~repro.placement.service.PlacementService` of the
+        #: attempt (``None`` when the placement plan is disabled).
+        self.placement = None
 
 
 class DurabilityController:

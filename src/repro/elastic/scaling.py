@@ -18,6 +18,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
+from repro.core.rounding import largest_remainder_split
+
 __all__ = [
     "ScalingDecision",
     "ScalingStrategy",
@@ -25,59 +27,6 @@ __all__ = [
     "NoScalingStrategy",
     "largest_remainder_split",
 ]
-
-
-def largest_remainder_split(
-    total: int,
-    weights: Mapping[str, float],
-    caps: Optional[Mapping[str, int]] = None,
-    tiebreak: Optional[Mapping[str, float]] = None,
-) -> Dict[str, int]:
-    """Split ``total`` units proportionally to ``weights``, deterministically.
-
-    Integer apportionment by the largest-remainder (Hamilton) method: each
-    key gets the floor of its exact proportional quota, and the leftover
-    units go to the largest fractional remainders.  Ties — and therefore the
-    whole allocation — resolve deterministically: by ``tiebreak`` value
-    (ascending) when given, then by key.  ``caps`` bounds each key's
-    allocation; capped leftovers spill to the remaining keys.  Keys with
-    non-positive weight (or cap) always get zero.  Used by the elastic
-    scaler's shortfall split and the serving layer's fair-share arbitration.
-    """
-    out = {key: 0 for key in weights}
-    eligible = {
-        key: w
-        for key, w in weights.items()
-        if w > 0 and (caps is None or caps.get(key, 0) > 0)
-    }
-    if total <= 0 or not eligible:
-        return out
-    if caps is not None:
-        total = min(total, sum(caps[key] for key in eligible))
-    weight_sum = sum(eligible.values())
-    quotas = {key: total * w / weight_sum for key, w in eligible.items()}
-    for key in eligible:
-        floor = int(quotas[key])
-        out[key] = floor if caps is None else min(floor, caps[key])
-    leftover = total - sum(out.values())
-    order = sorted(
-        eligible,
-        key=lambda key: (
-            -(quotas[key] - int(quotas[key])),
-            tiebreak.get(key, 0.0) if tiebreak is not None else 0.0,
-            key,
-        ),
-    )
-    while leftover > 0 and order:
-        for key in list(order):
-            if leftover <= 0:
-                break
-            if caps is not None and out[key] >= caps[key]:
-                order.remove(key)
-                continue
-            out[key] += 1
-            leftover -= 1
-    return out
 
 
 @dataclass(frozen=True)
@@ -138,6 +87,11 @@ class DefaultScalingStrategy(ScalingStrategy):
         #: An entry here replaces the endpoint's advertised maximum entirely —
         #: it may lower *or* raise the growth target.
         self.caps = dict(caps or {})
+        #: Zero-arg callable returning the current placement plan (or None).
+        #: Wired by the engine when the placement service is enabled; the
+        #: plan's per-endpoint worker targets then anchor the shortfall
+        #: split instead of raw headroom.
+        self.plan_provider = None
 
     def decide(
         self,
@@ -156,10 +110,35 @@ class DefaultScalingStrategy(ScalingStrategy):
         if sum(headrooms.values()) == 0:
             return ScalingDecision.none()
 
+        # With a placement plan live, anchor the split on each endpoint's
+        # *deficit* against its plan worker target: growth goes first where
+        # the global optimizer wants capacity, still clipped to real
+        # headroom.  Falls back to the raw-headroom split when the plan has
+        # no targets or every target is already met.
+        weights = self._plan_deficits(endpoints, headrooms) or headrooms
+
         # Split the shortfall proportionally to how much of it each endpoint
-        # can absorb (its headroom), with deterministic largest-remainder
-        # rounding, so the total requested equals the shortfall (or the total
-        # headroom when the shortfall exceeds it) instead of N × shortfall.
-        split = largest_remainder_split(shortfall, headrooms, caps=headrooms)
+        # can absorb, with deterministic largest-remainder rounding, so the
+        # total requested equals the shortfall (or the total headroom when
+        # the shortfall exceeds it) instead of N × shortfall.
+        split = largest_remainder_split(shortfall, weights, caps=headrooms)
         requests = {name: count for name, count in split.items() if count > 0}
         return ScalingDecision(workers_to_request=requests)
+
+    def _plan_deficits(
+        self,
+        endpoints: Mapping[str, EndpointView],
+        headrooms: Mapping[str, int],
+    ) -> Optional[Dict[str, int]]:
+        provider = self.plan_provider
+        plan = provider() if provider is not None else None
+        if plan is None or not plan.worker_targets:
+            return None
+        deficits: Dict[str, int] = {}
+        for name, view in endpoints.items():
+            target = int(plan.worker_targets.get(name, 0))
+            deficit = max(0, target - view.active_workers)
+            deficits[name] = min(deficit, headrooms.get(name, 0))
+        if sum(deficits.values()) == 0:
+            return None
+        return deficits

@@ -74,10 +74,18 @@ from repro.sched.base import Scheduler, SchedulingContext
 __all__ = [
     "ENDPOINT_HINT_KWARG",
     "MAX_RETRIES_KWARG",
+    "PLACEMENT_DISABLED",
     "ExecutionEngine",
     "build_data_manager",
     "build_scaling_strategy",
 ]
+
+#: Sentinel for the engine's ``placement`` argument: the caller owns the
+#: placement decision and decided on *no plan* — the engine must not build
+#: its own service even though the config enables one.  (``None`` means
+#: "undecided": the single-workflow path self-builds when enabled; the
+#: open-loop streaming serving path passes this sentinel instead.)
+PLACEMENT_DISABLED = object()
 
 #: Reserved keyword argument that pins a task to a specific endpoint,
 #: bypassing the scheduler (used by the elasticity experiments).
@@ -166,6 +174,7 @@ class ExecutionEngine:
         transfer_profiler: Optional[TransferProfiler] = None,
         task_monitor: Optional[TaskMonitor] = None,
         data_manager: Optional[DataManager] = None,
+        placement: Optional["PlacementService"] = None,
         namespace: str = "",
     ) -> None:
         self.config = config
@@ -241,6 +250,32 @@ class ExecutionEngine:
 
         # Metrics.
         self.metrics = metrics or MetricsCollector()
+
+        # Global placement (capacitated facility location).  A shared service
+        # (multi-workflow serving) is injected; the single-workflow path
+        # builds its own when the config enables the plan.  The service hands
+        # every greedy layer the same immutable plan: the scheduler keeps
+        # placements inside the warm set, the elastic scaler anchors its
+        # split on the plan worker targets, and the data plane prefers plan
+        # replica roots as transfer sources.
+        self.plan_service: Optional["PlacementService"] = (
+            None if placement is PLACEMENT_DISABLED else placement
+        )
+        if (
+            placement is None  # the caller did not decide for us
+            and self.plan_service is None
+            and config.enable_placement_plan
+        ):
+            from repro.placement.service import PlacementService
+
+            self.plan_service = PlacementService(config)
+        if self.plan_service is not None:
+            self.plan_service.attach(self)
+            self.scheduler.plan_provider = self.plan_service.current_plan
+            if hasattr(self.scaling_strategy, "plan_provider"):
+                self.scaling_strategy.plan_provider = self.plan_service.current_plan
+            if isinstance(self.data_manager, DataPlane):
+                self.data_manager.set_plan_provider(self.plan_service.current_plan)
 
         # Engine state.
         self.context: Optional[SchedulingContext] = None
@@ -334,6 +369,11 @@ class ExecutionEngine:
                         task, claims
                     ),
                     endpoint_names=lambda: self.fabric.endpoint_names(),
+                    plan_provider=(
+                        self.plan_service.current_plan
+                        if self.plan_service is not None
+                        else None
+                    ),
                 )
                 self.bus.subscribe(
                     TaskPlaced,
@@ -577,7 +617,23 @@ class ExecutionEngine:
         """
         self.endpoint_monitor.synchronize(force=True)
         self.bus.publish(CapacityChanged(time=self.clock.now()))
+        if self.plan_service is not None:
+            # Dynamics invalidate the plan (the service's generation mirrors
+            # the monitor's state_version idiom): a crash excludes the
+            # endpoint from future solves, a rejoin re-admits it, churn just
+            # forces a re-solve.  Under the serving layer every tenant engine
+            # forwards the same event; the service dedups the bump.
+            if isinstance(event, EndpointCrashed):
+                self.plan_service.mark_offline(event.endpoint)
+            elif isinstance(event, EndpointRejoined):
+                self.plan_service.mark_online(event.endpoint)
+            else:
+                self.plan_service.bump()
         if self._running:
+            if self.plan_service is not None:
+                # Re-solve before the reactions below so the scaler and the
+                # re-scheduling pass already steer by the post-event plan.
+                self.plan_service.maybe_resolve(self.clock.now(), self)
             self.periodic.run_scaling()
             # On a crash the failure coordinator owns re-placement of the
             # stranded tasks; running a rescheduling pass here too would move

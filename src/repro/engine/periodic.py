@@ -1,6 +1,6 @@
 """Periodic coordinator — everything the engine does on a cadence (§IV-B/D/H).
 
-Four independent timers, all driven by the engine clock so they behave
+Independent timers, all driven by the engine clock so they behave
 identically under the simulated and wall clocks:
 
 * **endpoint sync** — re-synchronise the endpoint monitor's mocks with the
@@ -8,6 +8,9 @@ identically under the simulated and wall clocks:
   :class:`~repro.engine.events.CapacityChanged`;
 * **profiler refresh** — retrain the execution/transfer models on the
   observations streamed in since the last refresh;
+* **placement re-solve** — let the global placement service refresh its
+  facility-location plan when its cadence elapsed or dynamics invalidated
+  the current generation (the service gates itself);
 * **re-scheduling** — offer the not-yet-dispatched tasks back to the
   scheduler (DHA's task stealing, §IV-D);
 * **scaling** — let the elasticity strategy request workers (§IV-H);
@@ -67,6 +70,11 @@ class PeriodicCoordinator:
                 # Stale entries would be rejected lazily by their generation
                 # stamp anyway; dropping them eagerly frees the memory.
                 engine.context.invalidate_predictions()
+        if engine.plan_service is not None:
+            # Before re-scheduling/scaling: both steer by the plan, so a due
+            # re-solve (cadence elapsed or generation invalidated) must land
+            # first.  The service itself gates on its own interval.
+            engine.plan_service.maybe_resolve(now, engine)
         if (
             engine.scheduler.supports_rescheduling
             and now - self._last_reschedule >= engine.config.rescheduling_interval_s

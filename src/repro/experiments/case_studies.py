@@ -183,6 +183,11 @@ def run_case_study(
         # as "Capacity moves the least data".  The plane has its own
         # scenarios (storage-pressure, hot-dataset) and benchmark gates.
         enable_dataplane=False,
+        # Same reasoning for the global placement plan: the published
+        # system places purely greedily per task, so the facility-location
+        # steering would shift the Table IV/V makespans and data volumes.
+        # The plan has its own presets and the `placement` benchmark gate.
+        enable_placement_plan=False,
     )
     client = env.make_client(config, metrics=metrics)
     if disable_endpoint_mocking:

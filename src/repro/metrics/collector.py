@@ -151,6 +151,10 @@ class WorkflowSummary:
     completed_tasks: int
     failed_tasks: int
     transfer_volume_gb: float
+    #: The same aggregate transfer volume in MB — the unit the data plane's
+    #: counters, the placement benchmarks and Table IV/V report in, exposed
+    #: top-level so consumers stop re-deriving it from GB.
+    bytes_moved_mb: float
     rescheduled_tasks: int
     mean_worker_utilization: float
     scheduler_overhead_per_task_s: float
@@ -173,6 +177,7 @@ class WorkflowSummary:
             "completed_tasks": self.completed_tasks,
             "failed_tasks": self.failed_tasks,
             "transfer_volume_gb": self.transfer_volume_gb,
+            "bytes_moved_mb": self.bytes_moved_mb,
             "rescheduled_tasks": self.rescheduled_tasks,
             "mean_worker_utilization": self.mean_worker_utilization,
             "scheduler_overhead_per_task_s": self.scheduler_overhead_per_task_s,
@@ -331,6 +336,7 @@ class MetricsCollector:
             completed_tasks=self.completed_count,
             failed_tasks=self.failed_count,
             transfer_volume_gb=transfer_volume_mb / 1024.0,
+            bytes_moved_mb=float(transfer_volume_mb),
             rescheduled_tasks=self.rescheduled_count,
             mean_worker_utilization=self.utilization.mean(),
             scheduler_overhead_per_task_s=self.scheduler_overhead_per_task_s(),

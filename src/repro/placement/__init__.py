@@ -1,0 +1,24 @@
+"""Global placement: a capacitated facility-location plan for the federation.
+
+DHA places greedily per task, the elastic scaler splits shortfall by raw
+headroom, and the prefetcher guesses destinations one task at a time — three
+layers independently re-deriving the same global question.  This package
+answers it once: a periodic batch optimizer treats endpoints as *facilities*
+(opening cost = the price of keeping a site warm, lower bound = its minimum
+useful worker count) and hot datasets' replica placements as *assignments*
+under the replica store's hard GB capacities (Kao 2021, *Improved LP-based
+Approximations for Facility Location with Hard Capacities*; Li 2018, *On
+Facility Location with General Lower Bounds*), and emits an immutable
+:class:`~repro.placement.plan.PlacementPlan` the greedy layers consult.
+"""
+
+from repro.placement.plan import PlacementPlan
+from repro.placement.service import PlacementService
+from repro.placement.solver import PlacementProblem, solve_placement
+
+__all__ = [
+    "PlacementPlan",
+    "PlacementProblem",
+    "PlacementService",
+    "solve_placement",
+]

@@ -1,0 +1,62 @@
+"""The immutable output of one placement solve.
+
+A :class:`PlacementPlan` is a value object: the solver builds a new one per
+solve and the service swaps it in atomically, so every consumer (scheduler
+tie-breaks, scaler anchor, data-plane preferences) reads one consistent
+generation — never a half-updated mix of two solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["PlacementPlan"]
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Warm set, worker targets and replica roots from one solve."""
+
+    #: Invalidation generation this plan was solved against (crash / rejoin /
+    #: churn bump the service's generation, mirroring the endpoint monitor's
+    #: ``state_version`` idiom; a stale generation triggers a re-solve at the
+    #: next periodic check).
+    generation: int
+    #: Simulated time of the solve.
+    solved_at: float
+    #: Endpoints worth keeping warm, sorted (facilities left open).
+    warm_endpoints: Tuple[str, ...] = ()
+    #: Worker count each warm endpoint should be scaled toward.
+    worker_targets: Mapping[str, int] = field(default_factory=dict)
+    #: Replica root per hot dataset: ``file_id -> endpoint``.  The root is
+    #: where the plan wants the authoritative warm copy; the data plane
+    #: prefers it as a transfer source and the prefetcher as a destination.
+    replica_roots: Mapping[str, str] = field(default_factory=dict)
+    #: Solver objective value (seconds; diagnostics only).
+    objective: float = 0.0
+
+    def is_warm(self, endpoint: str) -> bool:
+        return endpoint in self._warm_set
+
+    def root_for(self, file_id: str) -> Optional[str]:
+        return self.replica_roots.get(file_id)
+
+    @property
+    def _warm_set(self) -> frozenset:
+        cached = self.__dict__.get("_warm_cache")
+        if cached is None:
+            cached = frozenset(self.warm_endpoints)
+            object.__setattr__(self, "_warm_cache", cached)
+        return cached
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-native summary (durability capture, examples, tests)."""
+        return {
+            "generation": int(self.generation),
+            "solved_at": round(float(self.solved_at), 9),
+            "warm": list(self.warm_endpoints),
+            "targets": {k: int(v) for k, v in sorted(self.worker_targets.items())},
+            "roots": {k: self.replica_roots[k] for k in sorted(self.replica_roots)},
+            "objective": round(float(self.objective), 9),
+        }

@@ -145,6 +145,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         vectorized=False if args.no_vector else None,
         columnar=False if args.no_columnar else None,
         dataplane=False if args.no_dataplane else None,
+        placement=False if args.no_placement else None,
         workflows=args.workflows,
         arbitration=args.arbitration,
         workflow_stagger_s=args.stagger,
@@ -272,6 +273,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             vectorized=False if args.no_vector else None,
             columnar=False if args.no_columnar else None,
             dataplane=False if args.no_dataplane else None,
+            placement=False if args.no_placement else None,
             workflows=args.workflows,
         )
         result = run_scenario(spec, max_wall_time_s=args.max_wall_time)
@@ -364,6 +366,7 @@ def _compare_arbitrations(args: argparse.Namespace, preset) -> int:
             vectorized=False if args.no_vector else None,
             columnar=False if args.no_columnar else None,
             dataplane=False if args.no_dataplane else None,
+            placement=False if args.no_placement else None,
             workflows=args.workflows,
             arbitration=policy,
         )
@@ -445,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stage through the paper's FIFO data manager instead of the "
                           "data-plane subsystem (replica store / transfer scheduler / "
                           "prefetcher); event digests match the pre-data-plane engine")
+    run.add_argument("--no-placement", action="store_true",
+                     help="run without the global placement plan (greedy scheduler / "
+                          "scaler / data plane only); determinism digests match the "
+                          "pre-placement engine")
     run.add_argument("--workflows", type=int, default=None,
                      help="run N concurrent instances of the workload through the "
                           "multi-workflow serving layer (default: the preset's count)")
@@ -488,6 +495,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the scalar per-task event engine core")
     compare.add_argument("--no-dataplane", action="store_true",
                          help="stage through the paper's FIFO data manager")
+    compare.add_argument("--no-placement", action="store_true",
+                         help="run without the global placement plan")
     compare.add_argument("--workflows", type=int, default=None,
                          help="run N concurrent workload instances per run")
     compare.add_argument("--arbitrations", default=None,

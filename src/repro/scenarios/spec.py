@@ -312,6 +312,12 @@ class ScenarioSpec:
     #: switches a run to the paper's FIFO staging path, whose event digests
     #: are unchanged from the pre-data-plane engine.
     enable_dataplane: bool = True
+    #: Run the periodic global placement optimizer (capacitated facility
+    #: location) and let the scheduler / scaler / data plane steer by its
+    #: plan.  The CLI's ``--no-placement`` switches a run to the pre-plan
+    #: greedy layers, whose determinism digests are unchanged from the
+    #: pre-placement engine.
+    enable_placement: bool = True
     #: Scenario-wide staging-storage budget per endpoint, in GB (``None`` =
     #: unbounded; per-endpoint :attr:`EndpointSpec.storage_gb` overrides it).
     storage_gb: Optional[float] = None
@@ -356,6 +362,7 @@ class ScenarioSpec:
         vectorized: Optional[bool] = None,
         columnar: Optional[bool] = None,
         dataplane: Optional[bool] = None,
+        placement: Optional[bool] = None,
         workflows: Optional[int] = None,
         arbitration: Optional[str] = None,
         workflow_stagger_s: Optional[float] = None,
@@ -371,6 +378,8 @@ class ScenarioSpec:
             spec = dataclasses.replace(spec, columnar=columnar)
         if dataplane is not None:
             spec = dataclasses.replace(spec, enable_dataplane=dataplane)
+        if placement is not None:
+            spec = dataclasses.replace(spec, enable_placement=placement)
         if workflows is not None:
             if workflows < 1:
                 raise ValueError("--workflows must be >= 1")
@@ -446,6 +455,10 @@ class ScenarioResult:
                 "completed_tasks": self.completed_tasks,
                 "failed_tasks": self.failed_tasks,
                 "staged_mb": round(self.staged_mb, 6),
+                # The top-level bytes-moved counter (same aggregate as
+                # WorkflowSummary.bytes_moved_mb): the unit the placement
+                # benchmarks gate on.
+                "bytes_moved_mb": round(self.staged_mb, 6),
                 "retries": self.retries,
                 "rescheduled_tasks": self.rescheduled_tasks,
                 "mean_utilization_pct": round(self.mean_utilization_pct, 6),
@@ -572,6 +585,7 @@ def _run_attempt(
         ctx.engines[""] = client.engine
         ctx.recorders[""] = recorder
         ctx.data_manager = client.data_manager
+        ctx.placement = client.engine.plan_service
         controller = controller_factory(ctx)
         controller.install()
 
@@ -711,6 +725,7 @@ def _build_environment(spec: ScenarioSpec, seed: int):
         enable_vectorized_scheduling=spec.vectorized,
         enable_columnar_engine=spec.columnar,
         enable_dataplane=spec.enable_dataplane,
+        enable_placement_plan=spec.enable_placement,
         enable_prefetch=spec.enable_prefetch,
         storage_capacity_gb=spec.storage_gb,
         eviction_policy=spec.eviction_policy,
@@ -793,6 +808,7 @@ def _run_serving_scenario(
             ctx.recorders[handle.workflow_id] = recorders[handle.workflow_id]
         ctx.data_manager = manager.data_manager
         ctx.manager = manager
+        ctx.placement = manager.plan_service
         controller = controller_factory(ctx)
         controller.install()
         try:

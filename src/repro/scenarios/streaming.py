@@ -137,6 +137,7 @@ def run_streaming_scenario(
         ctx.data_manager = manager.data_manager
         ctx.manager = manager
         ctx.streaming = service
+        ctx.placement = manager.plan_service
         controller = controller_factory(ctx)
         controller.install()
 

@@ -288,6 +288,15 @@ class Scheduler(ABC):
         #: bound per endpoint on the free capacity this scheduler may treat
         #: as its own this round.  ``None`` (single-workflow) = unbounded.
         self._capacity_slice: Optional[Dict[str, int]] = None
+        #: Zero-arg callable returning the current
+        #: :class:`~repro.placement.plan.PlacementPlan` (or ``None``).  Wired
+        #: by the engine when the placement service is enabled; schedulers
+        #: that understand the plan (DHA) keep placements inside the
+        #: plan-warm endpoint set while a warm candidate exists, falling back
+        #: to the full endpoint set otherwise.  ``None`` (the default, and the
+        #: ``--no-placement`` mode) leaves every decision byte-identical to
+        #: the pre-placement scheduler.
+        self.plan_provider = None
 
     # ----------------------------------------------------------------- setup
     def initialize(self, context: SchedulingContext) -> None:
@@ -435,3 +444,10 @@ class Scheduler(ABC):
         free = max(0, free - self.claimed(endpoint))
         bound = self.capacity_slice_for(endpoint)
         return free if bound is None else min(free, bound)
+
+    def _current_plan(self):
+        """The live :class:`~repro.placement.plan.PlacementPlan`, or None."""
+        provider = self.plan_provider
+        if provider is None:
+            return None
+        return provider()

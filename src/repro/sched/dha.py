@@ -246,11 +246,17 @@ class DHAScheduler(Scheduler):
         exec_matrix = arrays.exec_matrix
         stag_matrix = arrays.staging_matrix
         names = arrays.endpoint_names
+        plan = self._current_plan()
+        warm_mask = self._warm_mask(names)
         placements: List[Placement] = []
         for position, task in enumerate(ordered):
             row = rows[position]
             finish = vectors.finish_row(exec_matrix[row], stag_matrix[row])
-            column = int(np.argmin(finish))
+            mask = self._selection_mask(plan, task, names, warm_mask)
+            if mask is not None:
+                column = int(np.argmin(np.where(mask, finish, np.inf)))
+            else:
+                column = int(np.argmin(finish))
             endpoint = names[column]
             self.claim(endpoint, 1)
             self._pending_target[task.task_id] = endpoint
@@ -262,6 +268,65 @@ class DHAScheduler(Scheduler):
                 )
             )
         return placements
+
+    @staticmethod
+    def _input_roots(plan, task: Task) -> frozenset:
+        """The plan replica roots of ``task``'s input files (may be empty).
+
+        A task reading hot datasets the plan rooted somewhere runs cheapest
+        next to those replicas: the selection paths restrict the EFT sweep to
+        these endpoints while at least one survives the warm/exclude filters,
+        which is what turns the plan's per-file roots into co-located
+        consumers (the split-penalty term of the solver objective assumes
+        shared consumers follow the roots).
+        """
+        if plan is None or not plan.replica_roots or not task.input_files:
+            return frozenset()
+        roots = {plan.root_for(f.file_id) for f in task.input_files}
+        roots.discard(None)
+        return frozenset(roots)
+
+    def _selection_mask(
+        self,
+        plan,
+        task: Task,
+        names: Sequence[str],
+        warm_mask: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        """Per-task candidate mask for the vector paths (None = all).
+
+        Mirrors the scalar filter order exactly: the plan-warm restriction
+        first, then the root-affinity restriction while it leaves at least
+        one candidate — so both implementations pick the same endpoint.
+        """
+        roots = self._input_roots(plan, task)
+        if not roots:
+            return warm_mask
+        rmask = np.fromiter(
+            (name in roots for name in names), dtype=bool, count=len(names)
+        )
+        if warm_mask is None:
+            return rmask if rmask.any() else None
+        combined = warm_mask & rmask
+        return combined if combined.any() else warm_mask
+
+    def _warm_mask(self, names: Sequence[str]) -> Optional[np.ndarray]:
+        """Boolean plan-warm mask over ``names`` for the vector paths.
+
+        Returns None when there is no plan, when no listed endpoint is warm
+        (the scalar fallback to the full sweep), or when every endpoint is
+        warm (the restriction is a no-op) — the caller then takes the plain
+        argmin, bit-identical to the scalar candidate filtering.
+        """
+        plan = self._current_plan()
+        if plan is None or not plan.warm_endpoints:
+            return None
+        mask = np.fromiter(
+            (plan.is_warm(name) for name in names), dtype=bool, count=len(names)
+        )
+        if not mask.any() or mask.all():
+            return None
+        return mask
 
     def _endpoint_vectors(self, arrays):
         """The incremental endpoint-state arrays, rebuilt on topology change."""
@@ -280,13 +345,29 @@ class DHAScheduler(Scheduler):
     def _select_endpoint(
         self, task: Task, exclude: Sequence[str] = ()
     ) -> tuple[Optional[str], float]:
-        """Greedy earliest-estimated-finish-time selection (scalar reference)."""
+        """Greedy earliest-estimated-finish-time selection (scalar reference).
+
+        With a placement plan live, the candidate set is restricted to the
+        plan-warm endpoints while at least one of them survives ``exclude``
+        — the global optimizer already paid the opening costs for the warm
+        set, so greedy EFT only arbitrates *within* it.  With no plan (or no
+        warm candidate left) the selection is the plain paper EFT sweep.
+        """
         context = self._require_context()
+        candidates = [n for n in context.endpoint_names() if n not in exclude]
+        plan = self._current_plan()
+        if plan is not None and plan.warm_endpoints:
+            warm = [n for n in candidates if plan.is_warm(n)]
+            if warm:
+                candidates = warm
+        roots = self._input_roots(plan, task)
+        if roots:
+            rooted = [n for n in candidates if n in roots]
+            if rooted:
+                candidates = rooted
         best_endpoint: Optional[str] = None
         best_finish = float("inf")
-        for endpoint in context.endpoint_names():
-            if endpoint in exclude:
-                continue
+        for endpoint in candidates:
             finish = self._estimated_finish(context, task, endpoint)
             if finish < best_finish:
                 best_finish = finish
@@ -383,6 +464,7 @@ class DHAScheduler(Scheduler):
         self, context: SchedulingContext, pending_tasks: Sequence[Task]
     ) -> Tuple:
         monitor = context.endpoint_monitor
+        plan = self._current_plan()
         return (
             tuple((t.task_id, t.assigned_endpoint) for t in pending_tasks),
             self._priority_epoch,
@@ -392,6 +474,9 @@ class DHAScheduler(Scheduler):
             context.execution_profiler.prediction_version,
             getattr(context.transfer_profiler, "prediction_version", 0),
             _remote_file.location_version(),
+            # A new placement plan changes the candidate filtering, so a
+            # pass under it is not a proven no-op of the previous pass.
+            None if plan is None else (plan.generation, plan.solved_at),
         )
 
     def _reschedule_scalar(
@@ -405,6 +490,7 @@ class DHAScheduler(Scheduler):
         if not any(count > 0 for count in spare.values()):
             return []
 
+        plan = self._current_plan()
         ordered = self._ordered_by_priority(pending_tasks, "reschedule")
         for task in ordered:
             current = task.assigned_endpoint
@@ -416,6 +502,20 @@ class DHAScheduler(Scheduler):
             candidates = [name for name, free in spare.items() if free > 0 and name != current]
             if not candidates:
                 break
+            if plan is not None and plan.warm_endpoints:
+                warm = [name for name in candidates if plan.is_warm(name)]
+                if warm:
+                    candidates = warm
+            roots = self._input_roots(plan, task)
+            if roots:
+                if current in roots:
+                    # Already next to a planned replica of its inputs:
+                    # stealing it away forfeits the warm copy the plan paid
+                    # to establish for a purely local queueing gain.
+                    continue
+                rooted = [name for name in candidates if name in roots]
+                if rooted:
+                    candidates = rooted
             current_finish = self._estimated_finish(context, task, current)
             best = min(
                 candidates,
@@ -463,6 +563,8 @@ class DHAScheduler(Scheduler):
         exec_matrix = arrays.exec_matrix
         stag_matrix = arrays.staging_matrix
         names = arrays.endpoint_names
+        plan = self._current_plan()
+        warm_mask = self._warm_mask(names)
         moves: List[Placement] = []
         for position, task in enumerate(ordered):
             current = task.assigned_endpoint
@@ -480,6 +582,19 @@ class DHAScheduler(Scheduler):
             candidates[column] = False
             if not candidates.any():
                 break
+            if warm_mask is not None and (candidates & warm_mask).any():
+                candidates = candidates & warm_mask
+            roots = self._input_roots(plan, task)
+            if roots:
+                if current in roots:
+                    # Same skip as the scalar pass: a task already at a plan
+                    # root of its inputs is where the plan wants it.
+                    continue
+                rmask = np.fromiter(
+                    (name in roots for name in names), dtype=bool, count=len(names)
+                )
+                if (candidates & rmask).any():
+                    candidates = candidates & rmask
             row = rows[position]
             finish = vectors.finish_row(exec_matrix[row], stag_matrix[row])
             current_finish = finish[column]

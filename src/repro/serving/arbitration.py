@@ -39,7 +39,7 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.elastic.scaling import largest_remainder_split
+from repro.core.rounding import largest_remainder_split
 
 __all__ = [
     "ARBITRATION_POLICIES",

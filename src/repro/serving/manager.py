@@ -43,6 +43,7 @@ from repro.dataplane import DataPlane
 from repro.elastic.scaling import EndpointView, NoScalingStrategy, ScalingStrategy
 from repro.engine.bus import EventBus
 from repro.engine.core import (
+    PLACEMENT_DISABLED,
     ExecutionEngine,
     build_data_manager,
     build_scaling_strategy,
@@ -305,6 +306,17 @@ class WorkflowManager:
         # no-op strategy and the manager aggregates pending pressure.
         self.scaling_strategy = scaling_strategy or build_scaling_strategy(config)
 
+        # Global placement is federation-level too: one shared service, every
+        # tenant engine attached, so demand and hot datasets are planned
+        # across tenants and one RNG stream drives every solve.
+        self.plan_service = None
+        if config.enable_placement_plan:
+            from repro.placement.service import PlacementService
+
+            self.plan_service = PlacementService(config)
+            if hasattr(self.scaling_strategy, "plan_provider"):
+                self.scaling_strategy.plan_provider = self.plan_service.current_plan
+
         # Dynamics: forward to tenants first (their failure coordinators
         # re-place stranded tasks), then run the shared plane's quarantine —
         # the same relative order the single-workflow bus wiring has.  Every
@@ -339,6 +351,17 @@ class WorkflowManager:
         self.on_workflow_finished: Optional[Callable[[WorkflowHandle], None]] = None
         #: All-time counters that survive retirement (summary aggregates).
         self.retired_count = 0
+
+    def disable_placement(self) -> None:
+        """Drop the shared placement plan; tenants admitted later run greedy.
+
+        Open-loop streaming calls this before the first arrival: ephemeral
+        tenants live and die well inside ``placement_interval_s``, so a
+        federation-wide plan has nothing to amortise there.
+        """
+        self.plan_service = None
+        if hasattr(self.scaling_strategy, "plan_provider"):
+            self.scaling_strategy.plan_provider = None
 
     # ------------------------------------------------------------ workflows
     def add_workflow(
@@ -384,6 +407,14 @@ class WorkflowManager:
             transfer_profiler=self.transfer_profiler,
             task_monitor=self.task_monitor,
             data_manager=self.data_manager,
+            # The manager owns the placement decision for every tenant: the
+            # shared service when the plan is on, explicitly disabled when it
+            # is off — a tenant engine must never self-build a private plan.
+            placement=(
+                self.plan_service
+                if self.plan_service is not None
+                else PLACEMENT_DISABLED
+            ),
             namespace=workflow_id,
         )
         engine.metrics.tenant = owner or workflow_id
@@ -599,6 +630,8 @@ class WorkflowManager:
         handle.retired = True
         self.data_manager.remove_staged_callback(handle.engine.staging._on_ticket_done)
         self.data_manager.release_namespace(wid)
+        if self.plan_service is not None:
+            self.plan_service.detach(handle.engine)
         if self._workflows.get(wid) is handle:
             del self._workflows[wid]
         self._ordered = [h for h in self._ordered if h is not handle]

@@ -19,7 +19,17 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "derive_stream"]
+
+
+def derive_stream(seed: int, name: str) -> np.random.Generator:
+    """A named stream derived from ``seed`` exactly as :class:`RngRegistry`
+    derives it — components constructed without a registry in hand (the
+    placement service builds its stream straight from
+    :attr:`~repro.core.config.Config.random_seed`) get the bit-identical
+    generator the registry would have handed out for the same name."""
+    child = np.random.SeedSequence([int(seed), _stable_hash(name)])
+    return np.random.default_rng(child)
 
 
 class RngRegistry:
@@ -38,8 +48,7 @@ class RngRegistry:
         if name not in self._streams:
             # Derive a child seed from the experiment seed and the stream name
             # so streams are independent and stable across runs.
-            child = np.random.SeedSequence([self._seed, _stable_hash(name)])
-            self._streams[name] = np.random.default_rng(child)
+            self._streams[name] = derive_stream(self._seed, name)
         return self._streams[name]
 
     def stream_names(self) -> list:

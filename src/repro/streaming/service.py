@@ -57,6 +57,12 @@ class StreamingService:
         self.manager = manager
         self.spec = spec
         self.kernel = kernel
+        # Open-loop tenants are ephemeral — a handful of tasks, gone in
+        # seconds, far inside the plan's re-solve cadence — so the global
+        # placement plan has nothing to amortise and would only perturb the
+        # arbitration policies' fairness properties.  Streaming serving
+        # keeps the per-task greedy path.
+        manager.disable_placement()
         self.builder_factory = builder_factory
         self.on_admit = on_admit
         self.on_retire = on_retire

@@ -1,0 +1,129 @@
+"""Property tests of the shared largest-remainder apportionment helper.
+
+The elastic scaler, the fair-share arbitration and the placement optimizer
+all split whole worker counts through :func:`largest_remainder_split`; these
+tests pin the properties byte-determinism of the scenario artifacts depends
+on — exactness, cap respect, insertion-order independence — and that every
+call site is bound to the *same* function object (no copy can drift).
+"""
+
+import random
+
+import pytest
+
+from repro.core import rounding
+from repro.core.rounding import largest_remainder_split
+
+
+def _random_case(rng: random.Random):
+    keys = [f"k{i}" for i in range(rng.randint(1, 9))]
+    weights = {k: rng.choice([0.0, rng.uniform(0.01, 50.0)]) for k in keys}
+    caps = (
+        {k: rng.randint(0, 40) for k in keys} if rng.random() < 0.7 else None
+    )
+    total = rng.randint(0, 120)
+    return total, weights, caps
+
+
+def _reference_no_caps(total, weights):
+    """Independent Hamilton-method reference (floor + largest remainders)."""
+    eligible = {k: w for k, w in weights.items() if w > 0}
+    out = {k: 0 for k in weights}
+    if total <= 0 or not eligible:
+        return out
+    weight_sum = sum(eligible.values())
+    quotas = {k: total * w / weight_sum for k, w in eligible.items()}
+    for k, q in quotas.items():
+        out[k] = int(q)
+    leftover = total - sum(out.values())
+    for k in sorted(eligible, key=lambda k: (-(quotas[k] - int(quotas[k])), k)):
+        if leftover <= 0:
+            break
+        out[k] += 1
+        leftover -= 1
+    return out
+
+
+def test_call_sites_are_bound_to_the_same_function():
+    from repro.elastic import scaling
+    from repro.placement import solver
+    from repro.serving import arbitration
+
+    assert scaling.largest_remainder_split is rounding.largest_remainder_split
+    assert arbitration.largest_remainder_split is rounding.largest_remainder_split
+    assert solver.largest_remainder_split is rounding.largest_remainder_split
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_invariants(seed):
+    rng = random.Random(seed)
+    for _ in range(250):
+        total, weights, caps = _random_case(rng)
+        out = largest_remainder_split(total, weights, caps=caps)
+        assert set(out) == set(weights)
+        assert all(v >= 0 for v in out.values())
+        eligible = {
+            k
+            for k, w in weights.items()
+            if w > 0 and (caps is None or caps.get(k, 0) > 0)
+        }
+        for k, v in out.items():
+            if k not in eligible:
+                assert v == 0
+            if caps is not None:
+                assert v <= caps.get(k, 0) or k not in eligible
+        if not eligible or total <= 0:
+            assert sum(out.values()) == 0
+        elif caps is None:
+            assert sum(out.values()) == total
+        else:
+            assert sum(out.values()) == min(
+                total, sum(caps[k] for k in eligible)
+            )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_insertion_order_independence(seed):
+    # Both call sites build their weight dicts in different iteration orders
+    # (endpoint topology order vs sorted tenant ids); the split must not
+    # depend on it, or the two subsystems would drift apart.
+    rng = random.Random(1000 + seed)
+    for _ in range(250):
+        total, weights, caps = _random_case(rng)
+        items = list(weights.items())
+        rng.shuffle(items)
+        shuffled = dict(items)
+        shuffled_caps = None
+        if caps is not None:
+            cap_items = list(caps.items())
+            rng.shuffle(cap_items)
+            shuffled_caps = dict(cap_items)
+        assert largest_remainder_split(total, weights, caps=caps) == (
+            largest_remainder_split(total, shuffled, caps=shuffled_caps)
+        )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_agreement_with_reference_when_uncapped(seed):
+    rng = random.Random(2000 + seed)
+    for _ in range(250):
+        total, weights, _ = _random_case(rng)
+        assert largest_remainder_split(total, weights) == _reference_no_caps(
+            total, weights
+        )
+
+
+def test_capped_leftovers_spill_to_uncapped_keys():
+    out = largest_remainder_split(
+        10, {"a": 1.0, "b": 1.0}, caps={"a": 2, "b": 20}
+    )
+    assert out == {"a": 2, "b": 8}
+
+
+def test_tiebreak_orders_equal_remainders():
+    # Equal weights, one leftover unit: the tiebreak value decides, then the
+    # key (the arbitration layer feeds cumulative-service deficits here).
+    out = largest_remainder_split(
+        3, {"a": 1.0, "b": 1.0}, tiebreak={"a": 5.0, "b": 1.0}
+    )
+    assert out == {"a": 1, "b": 2}
